@@ -1,0 +1,135 @@
+"""EMBED — KG embedding training regimes (§5.3).
+
+The paper trains multiple embedding models (TransE, DistMult) over a
+billion-fact KG and argues for single-node, external-memory (Marius-style)
+partition-buffer training: it bounds memory, keeps utilization high, and lets
+several models train concurrently, whereas DGL-KE-style distributed training
+needs the whole cluster per model and PyTorch-BigGraph-style training leaves
+the hardware underutilized (multi-day runs).
+
+The benchmark trains the same models on the reference KG under each regime and
+reports wall-clock, peak parameter memory, partition swaps, and link-prediction
+quality (MRR / hits@10) supporting the fact ranking / verification / imputation
+tasks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.baselines import DGLKEStyleTrainer, PBGStyleTrainer
+from repro.ml.embeddings import (
+    EmbeddingConfig,
+    EmbeddingTasks,
+    InMemoryTrainer,
+    PartitionBufferTrainer,
+    PartitionConfig,
+    TrainerConfig,
+    evaluate_link_prediction,
+    extract_edges,
+)
+
+MODEL_CONFIG = EmbeddingConfig(dimension=24, seed=7)
+TRAINER_CONFIG = TrainerConfig(epochs=4, batch_size=256, seed=7)
+
+
+@pytest.fixture(scope="module")
+def edge_splits(bench_store):
+    edges = extract_edges(bench_store)
+    return edges.split(test_fraction=0.1, seed=13)
+
+
+def bench_embed_partition_buffer_training(benchmark, edge_splits):
+    """Marius-style partition-buffer training of TransE."""
+    train, _ = edge_splits
+
+    def run():
+        trainer = PartitionBufferTrainer(
+            "transe", MODEL_CONFIG, TRAINER_CONFIG,
+            PartitionConfig(num_partitions=8, buffer_partitions=2),
+        )
+        return trainer.train(train)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.partition_swaps > 0
+
+
+def bench_embed_full_memory_training(benchmark, edge_splits):
+    """Full in-memory training (the memory-unbounded reference point)."""
+    train, _ = edge_splits
+
+    def run():
+        return InMemoryTrainer("transe", MODEL_CONFIG, TRAINER_CONFIG).train(train)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.final_loss >= 0.0
+
+
+def bench_embed_regime_comparison(benchmark, edge_splits):
+    """The §5.3 comparison table: Marius-style vs DGL-KE-style vs PBG-style."""
+    train, test = edge_splits
+
+    marius = PartitionBufferTrainer(
+        "transe", MODEL_CONFIG, TRAINER_CONFIG,
+        PartitionConfig(num_partitions=8, buffer_partitions=2),
+    )
+    marius_report = marius.train(train)
+    marius_quality = evaluate_link_prediction(marius.model, test.edges[:80])
+
+    full = InMemoryTrainer("transe", MODEL_CONFIG, TRAINER_CONFIG)
+    full_report = full.train(train)
+    full_quality = evaluate_link_prediction(full.model, test.edges[:80])
+
+    dglke = DGLKEStyleTrainer("transe", MODEL_CONFIG, TRAINER_CONFIG)
+    dglke_report = dglke.train(train)
+
+    pbg = PBGStyleTrainer("transe", MODEL_CONFIG, TRAINER_CONFIG, utilization=0.3)
+    pbg_report = pbg.train(train)
+
+    distmult = PartitionBufferTrainer(
+        "distmult", MODEL_CONFIG, TRAINER_CONFIG,
+        PartitionConfig(num_partitions=8, buffer_partitions=2),
+    )
+    distmult_report = distmult.train(train)
+    distmult_quality = evaluate_link_prediction(distmult.model, test.edges[:80])
+
+    rows = [
+        ["partition-buffer TransE (Marius-style)", marius_report.seconds,
+         marius_report.peak_memory_bytes // 1024, marius_report.partition_swaps,
+         marius_quality["mrr"], marius_quality["hits@10"]],
+        ["partition-buffer DistMult (Marius-style)", distmult_report.seconds,
+         distmult_report.peak_memory_bytes // 1024, distmult_report.partition_swaps,
+         distmult_quality["mrr"], distmult_quality["hits@10"]],
+        ["full-memory TransE", full_report.seconds,
+         full_report.peak_memory_bytes // 1024, 0, full_quality["mrr"],
+         full_quality["hits@10"]],
+        ["DGL-KE-style (cluster-exclusive)", dglke_report.seconds,
+         dglke_report.peak_memory_bytes // 1024, 0, "", ""],
+        ["PBG-style (low utilization)", pbg_report.seconds,
+         pbg_report.peak_memory_bytes // 1024, 0, "", ""],
+    ]
+    print_table(
+        "Embedding training regimes (§5.3): bounded memory + usable quality "
+        "for the partition-buffer path",
+        ["regime", "seconds", "peak_kb", "partition_swaps", "mrr", "hits@10"],
+        rows,
+    )
+
+    # Shape claims from the paper's argument:
+    # 1. The partition buffer bounds memory below full residency (and far below
+    #    the distributed full-replication regime).
+    assert marius_report.peak_memory_bytes < full_report.peak_memory_bytes
+    assert dglke_report.peak_memory_bytes > full_report.peak_memory_bytes
+    # 2. The low-utilization PBG-style regime takes far longer wall-clock.
+    assert pbg_report.seconds > marius_report.seconds
+    # 3. External-memory training still learns something useful for the
+    #    downstream tasks (better than random rank).
+    assert marius_quality["mrr"] > 2.0 / len(train.entity_ids)
+    # 4. The task layer works on top of the trained model.
+    tasks = EmbeddingTasks(marius.model, train)
+    subject = train.entity_ids[int(train.edges[0][0])]
+    relation = train.relation_ids[int(train.edges[0][1])]
+    assert tasks.impute_missing(subject, relation, k=3)
+
+    benchmark(lambda: evaluate_link_prediction(marius.model, test.edges[:20]))

@@ -1,0 +1,132 @@
+"""STRSIM — learned string similarity improves matching recall (§5.1).
+
+The paper reports that the learned (neural) string similarity functions,
+trained with distant supervision from KG aliases and typo augmentation, lift
+matching recall by more than 20 points over deterministic similarities when
+typos and synonyms (nicknames) are present, at the same level of precision.
+
+The benchmark builds a name-matching workload from the ground-truth world
+(positive pairs = alias/nickname/typo variants of the same entity, negatives =
+names of different entities), trains the encoder on the KG's alias groups, and
+compares recall at a fixed high-precision operating point against the
+deterministic Jaro-Winkler similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.datagen.names import make_typo, synonym_lexicon
+from repro.ml.encoders import EncoderConfig
+from repro.ml.similarity import jaro_winkler_similarity
+from repro.ml.training import DistantSupervisionConfig, train_string_encoder
+
+MATCH_THRESHOLD = 0.70
+PAPER_RECALL_GAIN_POINTS = 20.0
+
+
+class _JaroWinklerScorer:
+    """Adapter exposing the deterministic baseline via the encoder interface."""
+
+    def similarity(self, first, second):
+        return jaro_winkler_similarity(first, second)
+
+
+class _CombinedScorer:
+    """Deterministic + learned features, the way matching models consume them.
+
+    Saga's matchers use the learned similarity *alongside* the deterministic
+    library (each is one feature); the recall claim is about what the learned
+    feature adds on top, so the combined scorer takes the best of the two.
+    """
+
+    def __init__(self, encoder):
+        self.encoder = encoder
+
+    def similarity(self, first, second):
+        return max(jaro_winkler_similarity(first, second),
+                   self.encoder.similarity(first, second))
+
+
+@pytest.fixture(scope="module")
+def name_matching_workload(bench_world):
+    """Positive and negative person-name pairs with typos and nicknames."""
+    rng = np.random.default_rng(123)
+    people = [entity for entity in bench_world.entities.values()
+              if entity.entity_type in ("person", "music_artist", "actor", "athlete")]
+    positives = []
+    negatives = []
+    for index, person in enumerate(people):
+        variants = [alias for alias in person.aliases]
+        variants.append(make_typo(person.name, rng))
+        for variant in variants:
+            if variant and variant != person.name:
+                positives.append((person.name, variant))
+        other = people[(index + 17) % len(people)]
+        if other.truth_id != person.truth_id:
+            negatives.append((person.name, other.name))
+    return positives, negatives
+
+
+@pytest.fixture(scope="module")
+def trained_encoder(bench_world):
+    return train_string_encoder(
+        bench_world.alias_groups(),
+        synonyms=synonym_lexicon(),
+        encoder_config=EncoderConfig(dimension=64, epochs=4, seed=21),
+        supervision_config=DistantSupervisionConfig(max_triplets=8000, seed=21),
+    )
+
+
+def _evaluate(scorer, positives, negatives, threshold=MATCH_THRESHOLD):
+    true_positive = sum(1 for a, b in positives if scorer.similarity(a, b) >= threshold)
+    false_positive = sum(1 for a, b in negatives if scorer.similarity(a, b) >= threshold)
+    recall = true_positive / len(positives) if positives else 0.0
+    precision = (
+        true_positive / (true_positive + false_positive)
+        if (true_positive + false_positive) else 0.0
+    )
+    return {"precision": precision, "recall": recall}
+
+
+def bench_strsim_learned_scoring(benchmark, trained_encoder, name_matching_workload):
+    """Scoring throughput of the deterministic+learned feature combination."""
+    positives, negatives = name_matching_workload
+    scorer = _CombinedScorer(trained_encoder)
+    metrics = benchmark(lambda: _evaluate(scorer, positives[:300], negatives[:300]))
+    assert metrics["recall"] > 0.0
+
+
+def bench_strsim_deterministic_scoring(benchmark, name_matching_workload):
+    """Scoring throughput of the deterministic Jaro-Winkler baseline."""
+    positives, negatives = name_matching_workload
+    metrics = benchmark(lambda: _evaluate(_JaroWinklerScorer(), positives[:300], negatives[:300]))
+    assert 0.0 <= metrics["recall"] <= 1.0
+
+
+def bench_strsim_recall_improvement(benchmark, trained_encoder, name_matching_workload):
+    """The §5.1 claim: learned similarity recovers synonym/typo matches."""
+    positives, negatives = name_matching_workload
+    combined = _evaluate(_CombinedScorer(trained_encoder), positives, negatives)
+    learned_only = _evaluate(trained_encoder, positives, negatives)
+    deterministic = _evaluate(_JaroWinklerScorer(), positives, negatives)
+    gain_points = (combined["recall"] - deterministic["recall"]) * 100.0
+    print_table(
+        "Learned vs deterministic string similarity on typo/nickname matching "
+        "(paper: >20 point recall gain)",
+        ["similarity features", "precision", "recall", "recall_gain_points",
+         "paper_gain_points"],
+        [
+            ["deterministic only (jaro_winkler)", deterministic["precision"],
+             deterministic["recall"], 0.0, 0.0],
+            ["learned encoder only", learned_only["precision"], learned_only["recall"],
+             (learned_only["recall"] - deterministic["recall"]) * 100.0, ""],
+            ["deterministic + learned", combined["precision"], combined["recall"],
+             gain_points, PAPER_RECALL_GAIN_POINTS],
+        ],
+    )
+    assert gain_points > 10.0, "the learned feature must add double-digit recall points"
+    assert combined["precision"] > 0.7, "the gain must not come from collapsing precision"
+    benchmark(lambda: trained_encoder.similarity("Robert Smith", "Bob Smith"))

@@ -1,0 +1,149 @@
+"""Quickstart: build a tiny knowledge graph from two sources and query it.
+
+Demonstrates the core loop of the platform in a few dozen lines:
+
+1. register two data sources (a music catalog and an encyclopedia feed);
+2. ingest a snapshot from each — ontology alignment, delta computation,
+   linking, object resolution, and fusion all run under the hood;
+3. query the resulting KG through the Graph Engine (point lookups, full-text
+   search, entity views, importance scores).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SagaPlatform
+from repro.engine import EntityViewSpec
+from repro.model.entity import SourceEntity
+
+
+def music_catalog_snapshot() -> list[SourceEntity]:
+    """A tiny music-catalog feed: two artists, one label, one song."""
+    return [
+        SourceEntity(
+            entity_id="musicdb:artist/1",
+            entity_type="music_artist",
+            properties={
+                "name": "Nova Starlight",
+                "alias": ["Nova S."],
+                "genre": "electropop",
+                "record_label": "Apex Records",
+                "popularity": 0.92,
+            },
+            source_id="musicdb",
+            trust=0.85,
+        ),
+        SourceEntity(
+            entity_id="musicdb:artist/2",
+            entity_type="music_artist",
+            properties={
+                "name": "Crimson Harbor",
+                "genre": "indie rock",
+                "record_label": "Apex Records",
+                "popularity": 0.40,
+            },
+            source_id="musicdb",
+            trust=0.85,
+        ),
+        SourceEntity(
+            entity_id="musicdb:label/1",
+            entity_type="record_label",
+            properties={"name": "Apex Records"},
+            source_id="musicdb",
+            trust=0.85,
+        ),
+        SourceEntity(
+            entity_id="musicdb:song/1",
+            entity_type="song",
+            properties={
+                "name": "Midnight Echoes",
+                "performed_by": "Nova Starlight",
+                "duration_seconds": 214,
+                "genre": "electropop",
+            },
+            source_id="musicdb",
+            trust=0.85,
+        ),
+    ]
+
+
+def wiki_snapshot() -> list[SourceEntity]:
+    """An encyclopedia feed describing the same artist with extra facts."""
+    return [
+        SourceEntity(
+            entity_id="wiki:Nova_Starlight",
+            entity_type="person",
+            properties={
+                "name": "Nova Starlight",
+                "birth_date": "1991-03-14",
+                "occupation": ["singer", "songwriter"],
+                "educated_at": [{"school": "Conservatory of Springfield", "year": 2012}],
+            },
+            source_id="wiki",
+            trust=0.9,
+        ),
+        SourceEntity(
+            entity_id="wiki:Springfield",
+            entity_type="city",
+            properties={"name": "Springfield", "population": 167000},
+            source_id="wiki",
+            trust=0.9,
+        ),
+    ]
+
+
+def main() -> None:
+    platform = SagaPlatform()
+
+    # 1. Self-serve source onboarding.
+    platform.register_source("musicdb")
+    platform.register_source("wiki")
+
+    # 2. Ingest one snapshot per source; construction links the overlapping
+    #    "Nova Starlight" records into a single canonical entity.
+    music_report = platform.ingest_snapshot("musicdb", music_catalog_snapshot())
+    wiki_report = platform.ingest_snapshot("wiki", wiki_snapshot())
+    print("musicdb ingest:", music_report.summary())
+    print("wiki ingest:   ", wiki_report.summary())
+
+    metrics = platform.metrics()
+    print(f"\nKG now holds {metrics.facts} facts about {metrics.entities} entities "
+          f"from {metrics.sources} sources; store freshness: {metrics.store_freshness}")
+
+    # 3a. Full-text entity search + point lookup.
+    engine = platform.graph_engine
+    hit = engine.search("Nova Starlight", k=1)[0]
+    nova = engine.entity(hit.doc_id)
+    print(f"\nEntity card for {nova.name} ({hit.doc_id}):")
+    for predicate, values in sorted(nova.facts.items()):
+        print(f"  {predicate}: {values}")
+    print(f"  relationships: {nova.relationships}")
+
+    # Cross-source fusion: the genre fact came from musicdb, the birth date
+    # from wiki, and both contribute provenance to the name fact.
+    name_fact = [t for t in engine.triples.facts_about(hit.doc_id) if t.predicate == "name"][0]
+    print(f"  provenance of the name fact: {sorted(name_fact.sources)}")
+
+    # 3b. A schematized entity view computed by the analytics warehouse.
+    view = engine.entity_view(EntityViewSpec(
+        name="artists",
+        entity_type="music_artist",
+        predicates=("genre",),
+        reference_joins={"label": "record_label"},
+    ))
+    print("\nArtists view (analytics store):")
+    for row in view.rows:
+        print(f"  {row}")
+
+    # 3c. Structural entity importance over the whole graph.
+    top = sorted(engine.importance_scores().values(), key=lambda s: -s.score)[:3]
+    print("\nMost important entities (structural signals):")
+    for score in top:
+        print(f"  {engine.entity(score.entity_id).name:<24} importance={score.score:.3f} "
+              f"(in={score.in_degree}, out={score.out_degree}, "
+              f"identities={score.identity_count})")
+
+
+if __name__ == "__main__":
+    main()

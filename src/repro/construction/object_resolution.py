@@ -1,0 +1,292 @@
+"""Object Resolution (OBR): map literal objects to KG entity identifiers.
+
+Section 2.3: many triples carry a string literal (e.g. a person name) in the
+object field of a reference predicate.  OBR resolves such literals to existing
+KG entities — or creates new entities — so cross-references in the KG are
+normalized.  The production system backs OBR with the NERD stack (Section 5.2);
+this module defines the resolver interface, a lightweight name-index resolver
+used for bootstrapping and tests, and the stage that rewrites linked triples.
+
+The NERD service (:mod:`repro.ml.nerd.service`) satisfies the
+:class:`ObjectResolver` protocol structurally, so it can be plugged in without
+an import dependency from the ML stack onto construction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence
+
+from repro.ml.similarity import jaro_winkler_similarity, normalize_string
+from repro.model.entity import NAME_PREDICATES
+from repro.model.identifiers import IdGenerator, is_kg_identifier
+from repro.model.ontology import Ontology, ValueKind
+from repro.model.provenance import Provenance
+from repro.model.triples import ExtendedTriple, TripleStore
+
+
+@dataclass
+class ResolutionContext:
+    """Context handed to a resolver alongside the mention."""
+
+    subject_id: str = ""
+    predicate: str = ""
+    expected_types: tuple[str, ...] = ()
+    context_values: tuple[str, ...] = ()   # other literals about the same subject
+    locale: str = "en"
+
+
+@dataclass
+class Resolution:
+    """A resolver's answer for one mention."""
+
+    entity_id: str
+    confidence: float
+    candidate_count: int = 0
+    created: bool = False
+
+
+class ObjectResolver(Protocol):
+    """Anything that can resolve a text mention to a KG entity identifier."""
+
+    def resolve(self, mention: str, context: ResolutionContext) -> Resolution | None:
+        """Return the best resolution for *mention*, or ``None`` to reject."""
+        ...
+
+
+class NameIndexResolver:
+    """Resolve mentions by (fuzzy) lookup in a name → entity index.
+
+    This is the bootstrap resolver: exact normalized-name hits are returned
+    with high confidence; otherwise the best fuzzy match above a threshold
+    wins.  Entity-type hints restrict the candidate set exactly like the
+    "NERD + type hints" configuration in Figure 14(b).
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        ontology: Ontology | None = None,
+        fuzzy_threshold: float = 0.90,
+    ) -> None:
+        self.ontology = ontology
+        self.fuzzy_threshold = fuzzy_threshold
+        self._names: dict[str, set[str]] = defaultdict(set)   # normalized name -> entity ids
+        self._types: dict[str, set[str]] = defaultdict(set)   # entity id -> types
+        self.refresh(store)
+
+    def refresh(self, store: TripleStore) -> None:
+        """Rebuild the index from the current KG triple store."""
+        self._names.clear()
+        self._types.clear()
+        for predicate in NAME_PREDICATES:
+            for triple in store.facts_with_predicate(predicate):
+                normalized = normalize_string(triple.obj)
+                if normalized:
+                    self._names[normalized].add(triple.subject)
+        for triple in store.facts_with_predicate("type"):
+            self._types[triple.subject].add(str(triple.obj))
+
+    def add_entity(self, entity_id: str, names: Iterable[str], entity_type: str = "") -> None:
+        """Register a newly created entity so later mentions resolve to it."""
+        for name in names:
+            normalized = normalize_string(name)
+            if normalized:
+                self._names[normalized].add(entity_id)
+        if entity_type:
+            self._types[entity_id].add(entity_type)
+
+    def resolve(self, mention: str, context: ResolutionContext) -> Resolution | None:
+        """Resolve *mention* against the name index."""
+        normalized = normalize_string(mention)
+        if not normalized:
+            return None
+        exact = self._filter_by_type(self._names.get(normalized, set()), context)
+        if exact:
+            chosen = sorted(exact)[0]
+            return Resolution(entity_id=chosen, confidence=0.97, candidate_count=len(exact))
+        best_id, best_score, candidates = None, 0.0, 0
+        for name, entity_ids in self._names.items():
+            score = jaro_winkler_similarity(normalized, name)
+            if score < self.fuzzy_threshold:
+                continue
+            filtered = self._filter_by_type(entity_ids, context)
+            if not filtered:
+                continue
+            candidates += len(filtered)
+            if score > best_score:
+                best_score = score
+                best_id = sorted(filtered)[0]
+        if best_id is None:
+            return None
+        return Resolution(entity_id=best_id, confidence=best_score, candidate_count=candidates)
+
+    def _filter_by_type(self, entity_ids: set[str], context: ResolutionContext) -> set[str]:
+        if not context.expected_types:
+            return set(entity_ids)
+        filtered = set()
+        for entity_id in entity_ids:
+            entity_types = self._types.get(entity_id, set())
+            if not entity_types:
+                filtered.add(entity_id)
+                continue
+            for entity_type in entity_types:
+                if any(
+                    self._compatible(entity_type, expected)
+                    for expected in context.expected_types
+                ):
+                    filtered.add(entity_id)
+                    break
+        return filtered
+
+    def _compatible(self, entity_type: str, expected: str) -> bool:
+        if self.ontology is None or not self.ontology.has_type(entity_type):
+            return entity_type == expected
+        if not self.ontology.has_type(expected):
+            return entity_type == expected
+        return self.ontology.compatible_types(entity_type, expected)
+
+
+@dataclass
+class ObjectResolutionStats:
+    """Counters describing one object-resolution pass."""
+
+    examined: int = 0
+    resolved: int = 0
+    created: int = 0
+    unresolved: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for logging and tests."""
+        return {
+            "examined": self.examined,
+            "resolved": self.resolved,
+            "created": self.created,
+            "unresolved": self.unresolved,
+        }
+
+
+@dataclass
+class ObjectResolutionStage:
+    """Rewrite reference-predicate objects of linked triples to KG ids."""
+
+    ontology: Ontology
+    resolver: ObjectResolver
+    id_generator: IdGenerator | None = None
+    confidence_threshold: float = 0.9
+    create_missing: bool = False
+    _creations: dict[str, str] = field(default_factory=dict)
+
+    def resolve_triples(
+        self, triples: Sequence[ExtendedTriple]
+    ) -> tuple[list[ExtendedTriple], list[ExtendedTriple], ObjectResolutionStats]:
+        """Resolve objects in *triples*.
+
+        Returns ``(resolved_triples, new_entity_triples, stats)`` where
+        ``new_entity_triples`` carries name/type facts for entities minted for
+        unresolvable mentions (only when ``create_missing`` is enabled).
+        """
+        stats = ObjectResolutionStats()
+        resolved: list[ExtendedTriple] = []
+        new_entity_triples: list[ExtendedTriple] = []
+        context_cache: dict[str, tuple[str, ...]] = {}
+
+        for triple in triples:
+            predicate_name = triple.relationship_predicate or triple.predicate
+            if not self._needs_resolution(triple, predicate_name):
+                resolved.append(triple)
+                continue
+            stats.examined += 1
+            context = ResolutionContext(
+                subject_id=triple.subject,
+                predicate=predicate_name,
+                expected_types=self._expected_types(predicate_name),
+                context_values=self._context_values(triple, triples, context_cache),
+                locale=triple.locale,
+            )
+            resolution = self.resolver.resolve(str(triple.obj), context)
+            if resolution is not None and resolution.confidence >= self.confidence_threshold:
+                resolved.append(triple.with_object(resolution.entity_id))
+                stats.resolved += 1
+                continue
+            if self.create_missing:
+                entity_id, created_triples = self._create_entity(triple, predicate_name)
+                resolved.append(triple.with_object(entity_id))
+                new_entity_triples.extend(created_triples)
+                stats.created += 1
+                continue
+            resolved.append(triple)
+            stats.unresolved += 1
+        return resolved, new_entity_triples, stats
+
+    # -------------------------------------------------------------- #
+    # internals
+    # -------------------------------------------------------------- #
+    def _needs_resolution(self, triple: ExtendedTriple, predicate_name: str) -> bool:
+        if not isinstance(triple.obj, str) or is_kg_identifier(triple.obj):
+            return False
+        if not self.ontology.has_predicate(predicate_name):
+            return False
+        return self.ontology.predicate(predicate_name).value_kind is ValueKind.REFERENCE
+
+    def _expected_types(self, predicate_name: str) -> tuple[str, ...]:
+        if not self.ontology.has_predicate(predicate_name):
+            return ()
+        return self.ontology.predicate(predicate_name).range_types
+
+    def _context_values(
+        self,
+        triple: ExtendedTriple,
+        triples: Sequence[ExtendedTriple],
+        cache: dict[str, tuple[str, ...]],
+    ) -> tuple[str, ...]:
+        cached = cache.get(triple.subject)
+        if cached is not None:
+            return cached
+        values = tuple(
+            str(other.obj)
+            for other in triples
+            if other.subject == triple.subject and isinstance(other.obj, str)
+        )[:12]
+        cache[triple.subject] = values
+        return values
+
+    def _create_entity(
+        self, triple: ExtendedTriple, predicate_name: str
+    ) -> tuple[str, list[ExtendedTriple]]:
+        mention_key = normalize_string(triple.obj)
+        existing = self._creations.get(mention_key)
+        if existing is not None:
+            return existing, []
+        generator = self.id_generator or IdGenerator()
+        self.id_generator = generator
+        entity_id = generator.next_id()
+        self._creations[mention_key] = entity_id
+        provenance = triple.provenance.copy() if triple.provenance else Provenance()
+        created = [
+            ExtendedTriple(
+                subject=entity_id,
+                predicate="name",
+                obj=str(triple.obj),
+                locale=triple.locale,
+                provenance=provenance,
+            )
+        ]
+        expected = self._expected_types(predicate_name)
+        if expected:
+            created.append(
+                ExtendedTriple(
+                    subject=entity_id,
+                    predicate="type",
+                    obj=expected[0],
+                    locale=triple.locale,
+                    provenance=provenance.copy(),
+                )
+            )
+        # Make the fresh entity immediately addressable by later mentions.
+        if isinstance(self.resolver, NameIndexResolver):
+            self.resolver.add_entity(
+                entity_id, [str(triple.obj)], expected[0] if expected else ""
+            )
+        return entity_id, created

@@ -1,0 +1,46 @@
+"""Synthetic world, noisy sources, live streams, and annotated text corpora."""
+
+from repro.datagen.reference_kg import world_to_store
+from repro.datagen.sources import (
+    GeneratedSource,
+    SourceSpec,
+    default_source_suite,
+    evolve_source,
+    generate_source,
+    movie_catalog_spec,
+    music_catalog_spec,
+    sports_reference_spec,
+    wiki_people_spec,
+)
+from repro.datagen.streams import LiveEvent, LiveStreamGenerator, StreamConfig
+from repro.datagen.text import (
+    LabelledMention,
+    Passage,
+    TextCorpusConfig,
+    TextCorpusGenerator,
+)
+from repro.datagen.world import World, WorldConfig, WorldEntity, generate_world
+
+__all__ = [
+    "GeneratedSource",
+    "LabelledMention",
+    "LiveEvent",
+    "LiveStreamGenerator",
+    "Passage",
+    "SourceSpec",
+    "StreamConfig",
+    "TextCorpusConfig",
+    "TextCorpusGenerator",
+    "World",
+    "WorldConfig",
+    "WorldEntity",
+    "default_source_suite",
+    "evolve_source",
+    "generate_source",
+    "generate_world",
+    "movie_catalog_spec",
+    "music_catalog_spec",
+    "sports_reference_spec",
+    "wiki_people_spec",
+    "world_to_store",
+]

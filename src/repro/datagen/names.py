@@ -1,0 +1,191 @@
+"""Name pools, nicknames, and noise utilities for the synthetic world.
+
+The paper evaluates Saga on proprietary production feeds.  We substitute a
+synthetic world whose entity names, aliases, and noise characteristics mimic
+the phenomena the platform has to handle: nicknames/synonyms ("Robert" vs
+"Bob"), typos, re-orderings ("Smith, Robert"), partial names, and shared
+surface forms across entities (the "Hanover, NH" vs "Hanover, Germany"
+ambiguity driving NERD).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FIRST_NAMES = [
+    "Robert", "Elizabeth", "William", "Katherine", "Michael", "Jennifer",
+    "Christopher", "Margaret", "Alexander", "Victoria", "Jonathan", "Samantha",
+    "Nicholas", "Stephanie", "Benjamin", "Alexandra", "Theodore", "Gabriella",
+    "Sebastian", "Isabella", "Nathaniel", "Penelope", "Zachary", "Charlotte",
+    "Dominic", "Josephine", "Frederick", "Genevieve", "Maximilian", "Rosalind",
+    "Harrison", "Evangeline", "Montgomery", "Seraphina", "Bartholomew", "Anastasia",
+    "Leonardo", "Valentina", "Rafael", "Carolina", "Santiago", "Lucia",
+    "Hiroshi", "Yuki", "Kenji", "Sakura", "Wei", "Mei", "Arjun", "Priya",
+    "Omar", "Layla", "Kwame", "Amara", "Sven", "Ingrid", "Dmitri", "Natasha",
+]
+
+NICKNAMES = {
+    "robert": ["bob", "rob", "bobby", "bert"],
+    "elizabeth": ["liz", "beth", "lizzie", "eliza"],
+    "william": ["will", "bill", "billy", "liam"],
+    "katherine": ["kate", "kathy", "katie", "kat"],
+    "michael": ["mike", "mikey", "mick"],
+    "jennifer": ["jen", "jenny"],
+    "christopher": ["chris", "topher", "kit"],
+    "margaret": ["maggie", "meg", "peggy", "greta"],
+    "alexander": ["alex", "xander", "sasha", "lex"],
+    "victoria": ["vicky", "tori", "vic"],
+    "jonathan": ["jon", "johnny", "nathan"],
+    "samantha": ["sam", "sammy"],
+    "nicholas": ["nick", "nico", "cole"],
+    "stephanie": ["steph", "stevie"],
+    "benjamin": ["ben", "benny", "benji"],
+    "alexandra": ["alex", "lexi", "sandra"],
+    "theodore": ["ted", "teddy", "theo"],
+    "gabriella": ["gabby", "ella", "brie"],
+    "sebastian": ["seb", "bash"],
+    "isabella": ["bella", "izzy", "isa"],
+    "nathaniel": ["nate", "nat"],
+    "penelope": ["penny", "nell"],
+    "zachary": ["zach", "zack"],
+    "charlotte": ["charlie", "lottie"],
+    "dominic": ["dom", "nico"],
+    "josephine": ["jo", "josie"],
+    "frederick": ["fred", "freddy", "fritz"],
+    "genevieve": ["gen", "evie"],
+    "maximilian": ["max", "milo"],
+    "rosalind": ["rosa", "roz"],
+    "harrison": ["harry"],
+    "evangeline": ["eva", "evie", "angie"],
+    "bartholomew": ["bart", "barry"],
+    "anastasia": ["ana", "stacy", "tasia"],
+    "leonardo": ["leo", "leon"],
+    "valentina": ["val", "tina"],
+    "dmitri": ["dima", "mitya"],
+    "natasha": ["nat", "tasha"],
+}
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+]
+
+CITY_NAMES = [
+    "Hanover", "Springfield", "Franklin", "Clinton", "Georgetown", "Salem",
+    "Fairview", "Madison", "Washington", "Arlington", "Ashland", "Burlington",
+    "Manchester", "Oxford", "Cambridge", "Dover", "Newport", "Bristol",
+    "Richmond", "Auburn", "Milton", "Clayton", "Dayton", "Lexington",
+    "Milford", "Riverside", "Greenville", "Kingston", "Marion", "Monroe",
+]
+
+REGION_NAMES = [
+    "New Hampshire", "Germany", "Massachusetts", "Ontario", "Bavaria",
+    "California", "Texas", "Victoria", "Saxony", "Vermont", "Oregon",
+    "Yorkshire", "Quebec", "New South Wales", "Catalonia", "Tuscany",
+]
+
+MUSIC_WORDS = [
+    "Midnight", "Echo", "Velvet", "Neon", "Crystal", "Golden", "Silver",
+    "Electric", "Lunar", "Solar", "Crimson", "Azure", "Wild", "Silent",
+    "Broken", "Endless", "Fading", "Rising", "Falling", "Burning",
+    "Dreams", "Roads", "Lights", "Shadows", "Rivers", "Mountains",
+    "Horizons", "Mirrors", "Wires", "Stars", "Waves", "Embers", "Echoes",
+    "Hearts", "Voices", "Nights", "Days", "Skies", "Storms", "Secrets",
+]
+
+GENRES = [
+    "pop", "rock", "indie", "electronic", "hip hop", "jazz", "classical",
+    "country", "folk", "r&b", "metal", "ambient", "soul", "blues", "dance",
+]
+
+MOVIE_WORDS = [
+    "Last", "First", "Dark", "Bright", "Lost", "Hidden", "Final", "Eternal",
+    "Secret", "Silent", "Distant", "Forgotten", "Crimson", "Golden",
+    "Kingdom", "Empire", "Journey", "Return", "Legacy", "Covenant",
+    "Horizon", "Voyage", "Shadow", "Garden", "Winter", "Summer",
+]
+
+SCHOOL_WORDS = [
+    "University of", "Institute of", "College of", "Academy of",
+]
+
+TEAM_WORDS = [
+    "Wolves", "Hawks", "Titans", "Comets", "Raptors", "Chargers", "Pioneers",
+    "Voyagers", "Mariners", "Guardians", "Falcons", "Storm", "Thunder",
+    "Rangers", "Royals", "Spartans", "Knights", "Bears", "Lions", "Sharks",
+]
+
+COMPANY_WORDS = [
+    "Apex", "Northwind", "Bluepeak", "Ironwood", "Starfall", "Brightline",
+    "Cobalt", "Redwood", "Summit", "Meridian", "Vertex", "Atlas", "Orion",
+]
+
+_QWERTY_NEIGHBORS = {
+    "a": "qws", "b": "vgn", "c": "xdv", "d": "sfe", "e": "wrd", "f": "dgr",
+    "g": "fht", "h": "gjy", "i": "uok", "j": "hku", "k": "jli", "l": "ko",
+    "m": "n", "n": "bm", "o": "ipl", "p": "o", "q": "wa", "r": "etf",
+    "s": "adw", "t": "ryg", "u": "yij", "v": "cbf", "w": "qes", "x": "zcs",
+    "y": "tuh", "z": "xa",
+}
+
+
+def synonym_lexicon() -> dict[str, str]:
+    """Return a ``nickname -> canonical first name`` lexicon (lower-cased)."""
+    lexicon: dict[str, str] = {}
+    for canonical, nicknames in NICKNAMES.items():
+        for nickname in nicknames:
+            lexicon[nickname] = canonical
+    return lexicon
+
+
+def make_typo(text: str, rng: np.random.Generator) -> str:
+    """Introduce a single realistic typo into *text*."""
+    if len(text) < 4:
+        return text
+    chars = list(text)
+    # Only corrupt alphabetic positions so separators stay intact.
+    positions = [i for i, c in enumerate(chars) if c.isalpha()]
+    if not positions:
+        return text
+    position = positions[int(rng.integers(0, len(positions)))]
+    operation = rng.choice(["swap", "drop", "replace", "double"])
+    if operation == "swap" and position < len(chars) - 1:
+        chars[position], chars[position + 1] = chars[position + 1], chars[position]
+    elif operation == "drop":
+        del chars[position]
+    elif operation == "replace":
+        lower = chars[position].lower()
+        neighbors = _QWERTY_NEIGHBORS.get(lower, "")
+        if neighbors:
+            replacement = neighbors[int(rng.integers(0, len(neighbors)))]
+            chars[position] = replacement.upper() if chars[position].isupper() else replacement
+    else:
+        chars.insert(position, chars[position])
+    return "".join(chars)
+
+
+def person_aliases(first: str, last: str, rng: np.random.Generator) -> list[str]:
+    """Generate alternative surface forms for a person's name."""
+    aliases = []
+    nicknames = NICKNAMES.get(first.lower(), [])
+    if nicknames:
+        nickname = nicknames[int(rng.integers(0, len(nicknames)))]
+        aliases.append(f"{nickname.title()} {last}")
+    aliases.append(f"{first[0]}. {last}")
+    aliases.append(f"{last}, {first}")
+    return aliases
+
+
+def pick(pool: list[str], rng: np.random.Generator) -> str:
+    """Pick a uniformly random element of *pool*."""
+    return pool[int(rng.integers(0, len(pool)))]

@@ -1,0 +1,339 @@
+"""Derive noisy, overlapping data sources from the ground-truth world.
+
+Each generated source mimics an upstream provider feed: it covers a subset of
+the world's entities for some verticals, re-states facts with its own level of
+noise (typos, nicknames, missing values, within-source duplicates), refers to
+other entities by *name strings* (so object resolution is required), and can
+optionally use a source-specific schema so that ontology alignment has real
+work to do.
+
+A :class:`GeneratedSource` keeps the mapping from every emitted source-entity
+identifier back to the ground-truth entity, which is what lets tests and
+benchmarks report linking precision/recall against known truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.names import make_typo
+from repro.datagen.world import World, WorldEntity
+from repro.model.entity import SourceEntity
+
+
+@dataclass
+class SourceSpec:
+    """Configuration of one synthetic upstream source."""
+
+    source_id: str
+    entity_types: tuple[str, ...]
+    coverage: float = 1.0            # fraction of matching world entities included
+    duplicate_rate: float = 0.0      # fraction of entities emitted twice (in-source dups)
+    typo_rate: float = 0.1           # chance the primary name carries a typo
+    alias_rate: float = 0.3          # chance an alias is used instead of the name
+    missing_rate: float = 0.1        # chance an individual fact is dropped
+    trust: float = 0.8
+    include_volatile: bool = True    # emit popularity-style volatile predicates
+    schema_map: dict[str, str] = field(default_factory=dict)  # kg predicate -> source name
+    seed: int = 17
+
+
+@dataclass
+class GeneratedSource:
+    """A materialized source snapshot plus its ground-truth mapping."""
+
+    spec: SourceSpec
+    entities: list[SourceEntity]
+    truth_map: dict[str, str]        # source entity id -> world truth id
+    snapshot: int = 0
+
+    @property
+    def source_id(self) -> str:
+        """Identifier of the upstream source."""
+        return self.spec.source_id
+
+    def truth_of(self, source_entity_id: str) -> str | None:
+        """Ground-truth id for a source entity id, or ``None``."""
+        return self.truth_map.get(source_entity_id)
+
+
+# The predicates each vertical emits (beyond name/alias/type).
+_TYPE_PREDICATES: dict[str, list[str]] = {
+    "person": ["birth_date", "birth_place", "occupation", "spouse"],
+    "music_artist": ["birth_date", "birth_place", "occupation", "record_label", "spouse"],
+    "actor": ["birth_date", "birth_place", "occupation", "spouse"],
+    "athlete": ["birth_date", "birth_place", "occupation", "plays_for", "spouse"],
+    "song": ["performed_by", "part_of_album", "duration_seconds", "genre", "release_date"],
+    "album": ["performed_by", "record_label", "release_date", "genre"],
+    "playlist": ["track", "genre"],
+    "movie": ["directed_by", "release_date", "genre"],
+    "city": ["located_in", "population", "mayor"],
+    "country": ["capital", "head_of_state", "population"],
+    "school": ["located_in"],
+    "record_label": ["headquarters"],
+    "company": ["headquarters"],
+    "sports_team": ["headquarters", "venue"],
+    "stadium": ["located_in"],
+}
+
+_REFERENCE_PREDICATES = {
+    "birth_place", "spouse", "record_label", "performed_by", "part_of_album",
+    "located_in", "capital", "head_of_state", "mayor", "headquarters", "venue",
+    "directed_by", "plays_for", "track",
+}
+
+_COMPOSITE_PREDICATES = {"educated_at", "cast_member"}
+
+
+def generate_source(
+    world: World,
+    spec: SourceSpec,
+    snapshot: int = 0,
+    rng: np.random.Generator | None = None,
+) -> GeneratedSource:
+    """Materialize one snapshot of a noisy source from the world."""
+    rng = rng or np.random.default_rng(spec.seed + snapshot)
+    candidates = world.of_types(spec.entity_types)
+    entities: list[SourceEntity] = []
+    truth_map: dict[str, str] = {}
+
+    for world_entity in candidates:
+        if rng.random() > spec.coverage:
+            continue
+        copies = 2 if rng.random() < spec.duplicate_rate else 1
+        for copy_index in range(copies):
+            record = _make_record(world, world_entity, spec, rng, copy_index)
+            entities.append(record)
+            truth_map[record.entity_id] = world_entity.truth_id
+
+    return GeneratedSource(spec=spec, entities=entities, truth_map=truth_map,
+                           snapshot=snapshot)
+
+
+def evolve_source(
+    world: World,
+    previous: GeneratedSource,
+    added_fraction: float = 0.05,
+    updated_fraction: float = 0.1,
+    deleted_fraction: float = 0.02,
+    rng: np.random.Generator | None = None,
+) -> GeneratedSource:
+    """Produce the next snapshot of a source with realistic churn.
+
+    A fraction of previously uncovered world entities appear (*added*), a
+    fraction of existing records change a fact (*updated*), a fraction drop
+    out (*deleted*), and volatile popularity always changes.
+    """
+    spec = previous.spec
+    snapshot = previous.snapshot + 1
+    rng = rng or np.random.default_rng(spec.seed + 1000 + snapshot)
+
+    covered_truth_ids = set(previous.truth_map.values())
+    candidates = world.of_types(spec.entity_types)
+    uncovered = [e for e in candidates if e.truth_id not in covered_truth_ids]
+
+    entities: list[SourceEntity] = []
+    truth_map: dict[str, str] = {}
+
+    for record in previous.entities:
+        if rng.random() < deleted_fraction:
+            continue
+        clone = record.copy()
+        truth_id = previous.truth_map[record.entity_id]
+        world_entity = world.get(truth_id)
+        if rng.random() < updated_fraction:
+            _mutate_record(clone, world_entity, rng)
+        if spec.include_volatile and "popularity" in clone.properties:
+            clone.properties["popularity"] = round(
+                float(np.clip(world_entity.popularity + rng.normal(0, 0.05), 0.0, 1.0)), 4
+            )
+        entities.append(clone)
+        truth_map[clone.entity_id] = truth_id
+
+    num_to_add = int(len(uncovered) * added_fraction) if uncovered else 0
+    rng.shuffle(uncovered)
+    for world_entity in uncovered[:max(num_to_add, 0)]:
+        record = _make_record(world, world_entity, spec, rng, copy_index=0)
+        entities.append(record)
+        truth_map[record.entity_id] = world_entity.truth_id
+
+    return GeneratedSource(spec=spec, entities=entities, truth_map=truth_map,
+                           snapshot=snapshot)
+
+
+# --------------------------------------------------------------------- #
+# record construction helpers
+# --------------------------------------------------------------------- #
+def _make_record(
+    world: World,
+    world_entity: WorldEntity,
+    spec: SourceSpec,
+    rng: np.random.Generator,
+    copy_index: int,
+) -> SourceEntity:
+    local_id = world_entity.truth_id.split(":", 1)[1]
+    suffix = f"-{copy_index}" if copy_index else ""
+    entity_id = f"{spec.source_id}:{local_id}{suffix}"
+
+    name = world_entity.name
+    if world_entity.aliases and rng.random() < spec.alias_rate:
+        name = world_entity.aliases[int(rng.integers(0, len(world_entity.aliases)))]
+    if rng.random() < spec.typo_rate:
+        name = make_typo(name, rng)
+
+    properties: dict[str, object] = {_source_key(spec, "name"): name}
+    if world_entity.aliases and rng.random() < 0.5:
+        properties[_source_key(spec, "alias")] = list(world_entity.aliases)
+
+    for predicate in _TYPE_PREDICATES.get(world_entity.entity_type, []):
+        if predicate not in world_entity.facts:
+            continue
+        if rng.random() < spec.missing_rate:
+            continue
+        value = world_entity.facts[predicate]
+        properties[_source_key(spec, predicate)] = _render_value(
+            world, predicate, value, rng
+        )
+
+    for predicate, nodes in world_entity.relationships.items():
+        if rng.random() < spec.missing_rate:
+            continue
+        rendered_nodes = []
+        for node in nodes:
+            rendered_nodes.append(
+                {key: _render_value(world, key, value, rng) for key, value in node.items()}
+            )
+        properties[_source_key(spec, predicate)] = rendered_nodes
+
+    if spec.include_volatile:
+        properties[_source_key(spec, "popularity")] = round(float(world_entity.popularity), 4)
+
+    return SourceEntity(
+        entity_id=entity_id,
+        entity_type=world_entity.entity_type,
+        properties=properties,
+        source_id=spec.source_id,
+        trust=spec.trust,
+    )
+
+
+def _mutate_record(
+    record: SourceEntity, world_entity: WorldEntity, rng: np.random.Generator
+) -> None:
+    """Apply a small content change to simulate an upstream edit."""
+    mutable = [
+        key for key, value in record.properties.items()
+        if isinstance(value, (str, int, float)) and key != "popularity"
+    ]
+    if not mutable:
+        return
+    key = mutable[int(rng.integers(0, len(mutable)))]
+    value = record.properties[key]
+    if isinstance(value, str):
+        record.properties[key] = make_typo(value, rng) if len(value) > 4 else value + "!"
+    else:
+        record.properties[key] = value + 1
+
+
+def _render_value(
+    world: World, predicate: str, value: object, rng: np.random.Generator
+) -> object:
+    """Render a ground-truth fact value the way a source would state it.
+
+    Reference facts are rendered as the referenced entity's *name* (sometimes
+    an alias) rather than an identifier, which is exactly what object
+    resolution has to fix during construction.
+    """
+    if isinstance(value, list):
+        return [_render_value(world, predicate, item, rng) for item in value]
+    if isinstance(value, str) and value.startswith("truth:"):
+        target = world.entities.get(value)
+        if target is None:
+            return value
+        if target.aliases and rng.random() < 0.25:
+            return target.aliases[int(rng.integers(0, len(target.aliases)))]
+        return target.name
+    return value
+
+
+def _source_key(spec: SourceSpec, predicate: str) -> str:
+    """Translate a KG predicate to the source's own column name, if mapped."""
+    return spec.schema_map.get(predicate, predicate)
+
+
+# --------------------------------------------------------------------- #
+# ready-made source suites
+# --------------------------------------------------------------------- #
+def music_catalog_spec(seed: int = 101) -> SourceSpec:
+    """A music-vertical provider: artists, albums, songs, playlists."""
+    return SourceSpec(
+        source_id="musicdb",
+        entity_types=("music_artist", "album", "song", "playlist", "record_label"),
+        coverage=0.95,
+        duplicate_rate=0.08,
+        typo_rate=0.08,
+        trust=0.85,
+        seed=seed,
+    )
+
+
+def wiki_people_spec(seed: int = 102) -> SourceSpec:
+    """An encyclopedia-style provider: people, places, organizations."""
+    return SourceSpec(
+        source_id="wiki",
+        entity_types=(
+            "person", "music_artist", "actor", "athlete",
+            "city", "country", "school", "company", "sports_team", "stadium",
+        ),
+        coverage=0.9,
+        duplicate_rate=0.03,
+        typo_rate=0.05,
+        trust=0.9,
+        seed=seed,
+    )
+
+
+def movie_catalog_spec(seed: int = 103) -> SourceSpec:
+    """A movie-vertical provider using a source-specific schema."""
+    return SourceSpec(
+        source_id="moviedb",
+        entity_types=("movie", "actor"),
+        coverage=0.95,
+        duplicate_rate=0.05,
+        typo_rate=0.08,
+        trust=0.75,
+        schema_map={
+            "name": "title",
+            "genre": "category",
+            "directed_by": "director",
+            "release_date": "year",
+            "cast_member": "credits",
+        },
+        seed=seed,
+    )
+
+
+def sports_reference_spec(seed: int = 104) -> SourceSpec:
+    """A sports-vertical provider: teams, athletes, stadiums."""
+    return SourceSpec(
+        source_id="sportsref",
+        entity_types=("athlete", "sports_team", "stadium"),
+        coverage=0.9,
+        duplicate_rate=0.02,
+        typo_rate=0.05,
+        trust=0.8,
+        seed=seed,
+    )
+
+
+def default_source_suite(world: World, seed: int = 100) -> list[GeneratedSource]:
+    """Generate the standard four-source suite used by examples and benches."""
+    specs = [
+        music_catalog_spec(seed + 1),
+        wiki_people_spec(seed + 2),
+        movie_catalog_spec(seed + 3),
+        sports_reference_spec(seed + 4),
+    ]
+    return [generate_source(world, spec) for spec in specs]

@@ -1,0 +1,441 @@
+"""Ground-truth synthetic world used by tests, examples, and benchmarks.
+
+The production Saga deployment integrates proprietary feeds (Wikipedia,
+Wikidata, music catalogs, sports providers, ...).  This module substitutes a
+deterministic generator that produces a *ground-truth world*: a set of
+real-world entities with canonical names, aliases, facts, and relationships
+spanning the verticals the paper motivates (people, music, movies, places,
+organizations, sports).  Noisy data sources are then derived from the world by
+:mod:`repro.datagen.sources`, which lets every experiment measure precision
+and recall against known truth — something the paper can only report in
+relative terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen import names as name_pools
+from repro.datagen.names import person_aliases, pick
+
+
+@dataclass
+class WorldEntity:
+    """One ground-truth entity in the synthetic world."""
+
+    truth_id: str
+    entity_type: str
+    name: str
+    aliases: list[str] = field(default_factory=list)
+    facts: dict[str, object] = field(default_factory=dict)
+    relationships: dict[str, list[dict]] = field(default_factory=dict)
+    popularity: float = 0.1
+
+    @property
+    def all_names(self) -> list[str]:
+        """Canonical name plus aliases."""
+        return [self.name, *self.aliases]
+
+    @property
+    def is_head(self) -> bool:
+        """Head (popular) entities have popularity above 0.5."""
+        return self.popularity > 0.5
+
+
+@dataclass
+class WorldConfig:
+    """Size knobs for the synthetic world."""
+
+    num_people: int = 60
+    num_artists: int = 30
+    num_actors: int = 15
+    num_athletes: int = 15
+    songs_per_artist: int = 4
+    albums_per_artist: int = 2
+    num_playlists: int = 10
+    num_movies: int = 25
+    num_cities: int = 24
+    num_countries: int = 8
+    num_schools: int = 10
+    num_labels: int = 8
+    num_teams: int = 12
+    num_stadiums: int = 12
+    num_companies: int = 10
+    ambiguous_city_fraction: float = 0.4
+    head_fraction: float = 0.25
+    seed: int = 7
+
+
+class World:
+    """Container of ground-truth entities with typed and name lookups."""
+
+    def __init__(self, config: WorldConfig) -> None:
+        self.config = config
+        self.entities: dict[str, WorldEntity] = {}
+        self._by_type: dict[str, list[str]] = {}
+
+    def add(self, entity: WorldEntity) -> WorldEntity:
+        """Register a ground-truth entity."""
+        self.entities[entity.truth_id] = entity
+        self._by_type.setdefault(entity.entity_type, []).append(entity.truth_id)
+        return entity
+
+    def get(self, truth_id: str) -> WorldEntity:
+        """Return the entity with the given ground-truth identifier."""
+        return self.entities[truth_id]
+
+    def of_type(self, entity_type: str) -> list[WorldEntity]:
+        """Return every entity of exactly *entity_type*."""
+        return [self.entities[tid] for tid in self._by_type.get(entity_type, [])]
+
+    def of_types(self, entity_types: tuple[str, ...]) -> list[WorldEntity]:
+        """Return entities of any of the given types."""
+        found: list[WorldEntity] = []
+        for entity_type in entity_types:
+            found.extend(self.of_type(entity_type))
+        return found
+
+    def types(self) -> list[str]:
+        """Entity types present in the world."""
+        return sorted(self._by_type)
+
+    def name_of(self, truth_id: str) -> str:
+        """Canonical name of an entity (empty string when unknown)."""
+        entity = self.entities.get(truth_id)
+        return entity.name if entity else ""
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def alias_groups(self) -> list[list[str]]:
+        """Per-entity name/alias groups for distant supervision (§5.1)."""
+        return [entity.all_names for entity in self.entities.values() if entity.all_names]
+
+
+def generate_world(config: WorldConfig | None = None) -> World:
+    """Generate the deterministic ground-truth world."""
+    config = config or WorldConfig()
+    rng = np.random.default_rng(config.seed)
+    world = World(config)
+    counter = {"value": 0}
+
+    def next_id(prefix: str) -> str:
+        counter["value"] += 1
+        return f"truth:{prefix}{counter['value']:05d}"
+
+    def popularity() -> float:
+        if rng.random() < config.head_fraction:
+            return float(0.6 + 0.4 * rng.random())
+        return float(0.01 + 0.45 * rng.random())
+
+    # ----------------------------------------------------------------- #
+    # places
+    # ----------------------------------------------------------------- #
+    countries = []
+    for index in range(config.num_countries):
+        region = name_pools.REGION_NAMES[index % len(name_pools.REGION_NAMES)]
+        country = world.add(
+            WorldEntity(
+                truth_id=next_id("country"),
+                entity_type="country",
+                name=region,
+                aliases=[],
+                facts={"population": int(rng.integers(1, 90)) * 1_000_000},
+                popularity=popularity(),
+            )
+        )
+        countries.append(country)
+
+    cities = []
+    # A fraction of cities deliberately share a surface name with a city in a
+    # different country, creating the "Hanover, NH vs Hanover, Germany"
+    # ambiguity that NERD must resolve via context.  Drawing names from a pool
+    # smaller than the number of cities forces the duplicates.
+    name_pool_size = max(3, int(round(config.num_cities * (1.0 - config.ambiguous_city_fraction))))
+    name_pool_size = min(name_pool_size, len(name_pools.CITY_NAMES))
+    for index in range(config.num_cities):
+        base_name = name_pools.CITY_NAMES[index % name_pool_size]
+        country = countries[int(rng.integers(0, len(countries)))]
+        city = world.add(
+            WorldEntity(
+                truth_id=next_id("city"),
+                entity_type="city",
+                name=base_name,
+                aliases=[f"{base_name}, {country.name}"],
+                facts={
+                    "located_in": country.truth_id,
+                    "population": int(rng.integers(1, 900)) * 1_000,
+                },
+                popularity=popularity(),
+            )
+        )
+        cities.append(city)
+
+    # ----------------------------------------------------------------- #
+    # organizations
+    # ----------------------------------------------------------------- #
+    schools = []
+    for index in range(config.num_schools):
+        city = cities[int(rng.integers(0, len(cities)))]
+        prefix = pick(name_pools.SCHOOL_WORDS, rng)
+        name = f"{prefix} {city.name}"
+        schools.append(
+            world.add(
+                WorldEntity(
+                    truth_id=next_id("school"),
+                    entity_type="school",
+                    name=name,
+                    aliases=[f"{city.name} {prefix.split()[0]}"],
+                    facts={"located_in": city.truth_id},
+                    popularity=popularity(),
+                )
+            )
+        )
+
+    labels = []
+    for index in range(config.num_labels):
+        word = name_pools.COMPANY_WORDS[index % len(name_pools.COMPANY_WORDS)]
+        labels.append(
+            world.add(
+                WorldEntity(
+                    truth_id=next_id("label"),
+                    entity_type="record_label",
+                    name=f"{word} Records",
+                    aliases=[f"{word} Music"],
+                    facts={"headquarters": pick([c.truth_id for c in cities], rng)},
+                    popularity=popularity(),
+                )
+            )
+        )
+
+    companies = []
+    for index in range(config.num_companies):
+        word = name_pools.COMPANY_WORDS[(index * 3 + 1) % len(name_pools.COMPANY_WORDS)]
+        companies.append(
+            world.add(
+                WorldEntity(
+                    truth_id=next_id("company"),
+                    entity_type="company",
+                    name=f"{word} Technologies",
+                    aliases=[f"{word} Tech", word],
+                    facts={"headquarters": pick([c.truth_id for c in cities], rng)},
+                    popularity=popularity(),
+                )
+            )
+        )
+
+    stadiums = []
+    for index in range(config.num_stadiums):
+        city = cities[index % len(cities)]
+        stadiums.append(
+            world.add(
+                WorldEntity(
+                    truth_id=next_id("stadium"),
+                    entity_type="stadium",
+                    name=f"{city.name} Arena",
+                    aliases=[f"{city.name} Stadium"],
+                    facts={"located_in": city.truth_id},
+                    popularity=popularity(),
+                )
+            )
+        )
+
+    teams = []
+    for index in range(config.num_teams):
+        city = cities[int(rng.integers(0, len(cities)))]
+        mascot = name_pools.TEAM_WORDS[index % len(name_pools.TEAM_WORDS)]
+        teams.append(
+            world.add(
+                WorldEntity(
+                    truth_id=next_id("team"),
+                    entity_type="sports_team",
+                    name=f"{city.name} {mascot}",
+                    aliases=[mascot, f"{city.name[:3].upper()} {mascot}"],
+                    facts={
+                        "headquarters": city.truth_id,
+                        "venue": stadiums[index % len(stadiums)].truth_id,
+                    },
+                    popularity=popularity(),
+                )
+            )
+        )
+
+    # ----------------------------------------------------------------- #
+    # people
+    # ----------------------------------------------------------------- #
+    people: list[WorldEntity] = []
+    artists: list[WorldEntity] = []
+    actors: list[WorldEntity] = []
+    athletes: list[WorldEntity] = []
+    total_people = config.num_people
+    for index in range(total_people):
+        first = pick(name_pools.FIRST_NAMES, rng)
+        last = pick(name_pools.LAST_NAMES, rng)
+        full_name = f"{first} {last}"
+        if index < config.num_artists:
+            entity_type = "music_artist"
+        elif index < config.num_artists + config.num_actors:
+            entity_type = "actor"
+        elif index < config.num_artists + config.num_actors + config.num_athletes:
+            entity_type = "athlete"
+        else:
+            entity_type = "person"
+        birth_city = cities[int(rng.integers(0, len(cities)))]
+        school = schools[int(rng.integers(0, len(schools)))]
+        person = world.add(
+            WorldEntity(
+                truth_id=next_id("person"),
+                entity_type=entity_type,
+                name=full_name,
+                aliases=person_aliases(first, last, rng),
+                facts={
+                    "birth_date": f"{int(rng.integers(1950, 2004))}-"
+                                  f"{int(rng.integers(1, 13)):02d}-"
+                                  f"{int(rng.integers(1, 29)):02d}",
+                    "birth_place": birth_city.truth_id,
+                    "occupation": {
+                        "music_artist": ["singer", "songwriter"],
+                        "actor": ["actor"],
+                        "athlete": ["athlete"],
+                        "person": ["researcher"],
+                    }[entity_type],
+                },
+                relationships={
+                    "educated_at": [
+                        {
+                            "school": school.truth_id,
+                            "degree": pick(["BA", "BSc", "MSc", "PhD"], rng),
+                            "year": int(rng.integers(1970, 2022)),
+                        }
+                    ]
+                },
+                popularity=popularity(),
+            )
+        )
+        people.append(person)
+        if entity_type == "music_artist":
+            person.facts["record_label"] = pick([l.truth_id for l in labels], rng)
+            artists.append(person)
+        elif entity_type == "actor":
+            actors.append(person)
+        elif entity_type == "athlete":
+            person.facts["plays_for"] = pick([t.truth_id for t in teams], rng)
+            athletes.append(person)
+
+    # Spouses: pair up a fraction of people.
+    shuffled = list(people)
+    rng.shuffle(shuffled)
+    for i in range(0, len(shuffled) - 1, 4):
+        a, b = shuffled[i], shuffled[i + 1]
+        a.facts["spouse"] = b.truth_id
+        b.facts["spouse"] = a.truth_id
+
+    # ----------------------------------------------------------------- #
+    # music catalog
+    # ----------------------------------------------------------------- #
+    albums: list[WorldEntity] = []
+    songs: list[WorldEntity] = []
+    for artist in artists:
+        artist_albums = []
+        for _ in range(config.albums_per_artist):
+            title = f"{pick(name_pools.MUSIC_WORDS, rng)} {pick(name_pools.MUSIC_WORDS, rng)}"
+            album = world.add(
+                WorldEntity(
+                    truth_id=next_id("album"),
+                    entity_type="album",
+                    name=title,
+                    aliases=[f"{title} (Deluxe)"],
+                    facts={
+                        "performed_by": artist.truth_id,
+                        "record_label": artist.facts.get("record_label"),
+                        "release_date": f"{int(rng.integers(1990, 2022))}",
+                        "genre": pick(name_pools.GENRES, rng),
+                    },
+                    popularity=artist.popularity * float(0.5 + 0.5 * rng.random()),
+                )
+            )
+            albums.append(album)
+            artist_albums.append(album)
+        for song_index in range(config.songs_per_artist):
+            title = f"{pick(name_pools.MUSIC_WORDS, rng)} {pick(name_pools.MUSIC_WORDS, rng)}"
+            album = artist_albums[song_index % len(artist_albums)]
+            song = world.add(
+                WorldEntity(
+                    truth_id=next_id("song"),
+                    entity_type="song",
+                    name=title,
+                    aliases=[f"{title} (Remix)"] if rng.random() < 0.3 else [],
+                    facts={
+                        "performed_by": artist.truth_id,
+                        "part_of_album": album.truth_id,
+                        "duration_seconds": int(rng.integers(120, 420)),
+                        "genre": album.facts.get("genre"),
+                        "release_date": album.facts.get("release_date"),
+                    },
+                    popularity=artist.popularity * float(0.3 + 0.7 * rng.random()),
+                )
+            )
+            songs.append(song)
+
+    playlists = []
+    for index in range(config.num_playlists):
+        playlist_songs = [
+            songs[int(rng.integers(0, len(songs)))].truth_id for _ in range(6)
+        ] if songs else []
+        playlists.append(
+            world.add(
+                WorldEntity(
+                    truth_id=next_id("playlist"),
+                    entity_type="playlist",
+                    name=f"{pick(name_pools.MUSIC_WORDS, rng)} Mix {index + 1}",
+                    facts={"track": playlist_songs,
+                           "genre": pick(name_pools.GENRES, rng)},
+                    popularity=popularity(),
+                )
+            )
+        )
+
+    # ----------------------------------------------------------------- #
+    # movies
+    # ----------------------------------------------------------------- #
+    movies = []
+    for index in range(config.num_movies):
+        title = f"The {pick(name_pools.MOVIE_WORDS, rng)} {pick(name_pools.MOVIE_WORDS, rng)}"
+        director = people[int(rng.integers(0, len(people)))]
+        cast = [actors[int(rng.integers(0, len(actors)))] for _ in range(3)] if actors else []
+        movies.append(
+            world.add(
+                WorldEntity(
+                    truth_id=next_id("movie"),
+                    entity_type="movie",
+                    name=title,
+                    aliases=[title.replace("The ", "")],
+                    facts={
+                        "directed_by": director.truth_id,
+                        "release_date": f"{int(rng.integers(1980, 2022))}",
+                        "genre": pick(["drama", "comedy", "thriller", "sci-fi", "action"], rng),
+                    },
+                    relationships={
+                        "cast_member": [
+                            {"actor": member.truth_id,
+                             "role": f"{pick(name_pools.FIRST_NAMES, rng)} {pick(name_pools.LAST_NAMES, rng)}"}
+                            for member in cast
+                        ]
+                    },
+                    popularity=popularity(),
+                )
+            )
+        )
+
+    # Mayors / heads of state for QA intents.
+    for city in cities:
+        mayor = people[int(rng.integers(0, len(people)))]
+        city.facts["mayor"] = mayor.truth_id
+    for country in countries:
+        leader = people[int(rng.integers(0, len(people)))]
+        country.facts["head_of_state"] = leader.truth_id
+        country.facts["capital"] = cities[int(rng.integers(0, len(cities)))].truth_id
+
+    return world

@@ -1,0 +1,127 @@
+"""Orchestration agents: replay the shared log into each storage engine.
+
+Section 3.1: an extensible orchestration-agent framework lets new storage or
+compute engines be onboarded with small engineering effort.  Agents
+encapsulate all store-specific logic; the surrounding framework (log reading,
+payload fetching, watermark tracking) is generic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.engine.log import LogRecord, OperationLog
+from repro.engine.metadata import MetadataStore
+from repro.engine.object_store import ObjectStore
+from repro.errors import EngineError
+
+
+class OrchestrationAgent(ABC):
+    """Base class for store-specific replay agents."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise EngineError("orchestration agent needs a non-empty name")
+        self.name = name
+        self.operations_applied = 0
+        self.errors: list[str] = []
+
+    @abstractmethod
+    def apply(self, record: LogRecord, payload: object) -> None:
+        """Apply one log record (with its staged payload) to the store."""
+
+    def on_error(self, record: LogRecord, error: Exception) -> None:
+        """Record a replay failure; the coordinator will not advance the watermark."""
+        self.errors.append(f"lsn={record.lsn}: {error}")
+
+
+class CallbackAgent(OrchestrationAgent):
+    """Adapter turning a plain callable into an orchestration agent."""
+
+    def __init__(self, name: str, callback) -> None:
+        super().__init__(name)
+        self._callback = callback
+
+    def apply(self, record: LogRecord, payload: object) -> None:
+        self._callback(record, payload)
+
+
+@dataclass
+class ReplayReport:
+    """What one coordinator pass replayed."""
+
+    applied: dict[str, int] = field(default_factory=dict)   # agent name -> records applied
+    failed: dict[str, int] = field(default_factory=dict)
+    head_lsn: int = 0
+
+    def total_applied(self) -> int:
+        """Total records applied across agents."""
+        return sum(self.applied.values())
+
+
+class AgentCoordinator:
+    """Drive every registered agent from its watermark to the log head."""
+
+    def __init__(
+        self,
+        log: OperationLog,
+        object_store: ObjectStore,
+        metadata: MetadataStore,
+    ) -> None:
+        self.log = log
+        self.object_store = object_store
+        self.metadata = metadata
+        self.agents: dict[str, OrchestrationAgent] = {}
+
+    def register(self, agent: OrchestrationAgent) -> OrchestrationAgent:
+        """Register an agent; its watermark starts at 0 (full replay)."""
+        if agent.name in self.agents:
+            raise EngineError(f"agent {agent.name!r} is already registered")
+        self.agents[agent.name] = agent
+        self.metadata.update_watermark(agent.name, self.metadata.watermark(agent.name))
+        return agent
+
+    def unregister(self, agent_name: str) -> None:
+        """Remove an agent from coordination."""
+        self.agents.pop(agent_name, None)
+
+    def replay(self, agent_names: list[str] | None = None) -> ReplayReport:
+        """Replay pending log records on the selected (or all) agents.
+
+        Each agent processes records strictly in LSN order starting after its
+        own watermark, so independent stores may be at different versions but
+        never see operations out of order.
+        """
+        report = ReplayReport(head_lsn=self.log.head_lsn())
+        names = agent_names if agent_names is not None else sorted(self.agents)
+        for name in names:
+            agent = self.agents.get(name)
+            if agent is None:
+                raise EngineError(f"unknown orchestration agent {name!r}")
+            watermark = self.metadata.watermark(name)
+            applied = failed = 0
+            for record in self.log.read_from(watermark):
+                payload = (
+                    self.object_store.get(record.payload_key)
+                    if record.payload_key
+                    else None
+                )
+                try:
+                    agent.apply(record, payload)
+                except Exception as exc:  # noqa: BLE001 - agent errors must not kill replay
+                    agent.on_error(record, exc)
+                    failed += 1
+                    break
+                agent.operations_applied += 1
+                applied += 1
+                self.metadata.update_watermark(name, record.lsn)
+            report.applied[name] = applied
+            if failed:
+                report.failed[name] = failed
+        return report
+
+    def freshness(self) -> dict[str, int]:
+        """Per-store lag behind the log head, in operations."""
+        head = self.log.head_lsn()
+        return {name: head - self.metadata.watermark(name) for name in self.agents}

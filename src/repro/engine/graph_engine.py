@@ -1,0 +1,388 @@
+"""The Knowledge Graph Query Engine facade (Section 3, Figure 6).
+
+The Graph Engine is the primary store for the KG, computes knowledge views
+over the graph, and exposes query APIs to consumers.  It follows a federated
+polystore design: specialized stores (analytics warehouse, entity KV index,
+full-text index, vector DB) are kept consistent by replaying a shared,
+durable operation log through per-store orchestration agents; log sequence
+numbers give consumers a freshness guarantee per store.
+
+The KG construction pipeline is the *sole producer*: it publishes ingest
+operations via :meth:`GraphEngine.publish_subjects` (payloads staged in the
+object store, operations appended to the log) and the engine replays them into
+every registered store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.engine.agents import AgentCoordinator, OrchestrationAgent, ReplayReport
+from repro.engine.analytics import AnalyticsStore, EntityViewSpec, Relation
+from repro.engine.entity_store import EntityDocument, EntityStore
+from repro.engine.importance import EntityImportance, ImportanceScore, importance_view_rows
+from repro.engine.log import LogRecord, OperationLog
+from repro.engine.metadata import MetadataStore
+from repro.engine.object_store import ObjectStore
+from repro.engine.text_index import InvertedTextIndex, SearchHit, TextDocument
+from repro.engine.vector_db import VectorDB, VectorHit
+from repro.engine.views import ViewCatalog, ViewContext, ViewDefinition, ViewManager
+from repro.errors import EngineError
+from repro.model.entity import NAME_PREDICATES, KGEntity
+from repro.model.ontology import Ontology
+from repro.model.triples import ExtendedTriple, TripleStore
+
+#: Replay order: the primary store must apply an operation before the derived
+#: stores read from it.
+AGENT_ORDER = ("primary", "analytics", "entity_store", "text_index")
+
+
+class PrimaryStoreAgent(OrchestrationAgent):
+    """Maintains the engine's primary extended-triples store."""
+
+    def __init__(self, store: TripleStore) -> None:
+        super().__init__("primary")
+        self.store = store
+
+    def apply(self, record: LogRecord, payload: object) -> None:
+        if record.operation == "ingest_delta" and isinstance(payload, dict):
+            for subject in payload.get("deleted", []):
+                self.store.remove_subject(subject)
+            changed = payload.get("subjects", [])
+            for subject in changed:
+                self.store.remove_subject(subject)
+            for row in payload.get("triples", []):
+                self.store.add(ExtendedTriple.from_row(row))
+        elif record.operation == "remove_source":
+            self.store.remove_source(record.source_id)
+
+
+class AnalyticsAgent(OrchestrationAgent):
+    """Maintains the analytics warehouse."""
+
+    def __init__(self, analytics: AnalyticsStore) -> None:
+        super().__init__("analytics")
+        self.analytics = analytics
+
+    def apply(self, record: LogRecord, payload: object) -> None:
+        if record.operation != "ingest_delta" or not isinstance(payload, dict):
+            return
+        self.analytics.remove_subjects(payload.get("deleted", []))
+        triples = [ExtendedTriple.from_row(row) for row in payload.get("triples", [])]
+        self.analytics.refresh_subjects(payload.get("subjects", []), triples)
+
+
+class EntityStoreAgent(OrchestrationAgent):
+    """Maintains the key-value entity index from the primary store."""
+
+    def __init__(self, entity_store: EntityStore, primary: TripleStore) -> None:
+        super().__init__("entity_store")
+        self.entity_store = entity_store
+        self.primary = primary
+
+    def apply(self, record: LogRecord, payload: object) -> None:
+        if record.operation != "ingest_delta" or not isinstance(payload, dict):
+            return
+        changed = list(payload.get("subjects", [])) + list(payload.get("deleted", []))
+        self.entity_store.update_from_store(self.primary, changed)
+
+
+class TextIndexAgent(OrchestrationAgent):
+    """Maintains the full-text entity index from the primary store."""
+
+    def __init__(self, text_index: InvertedTextIndex, primary: TripleStore) -> None:
+        super().__init__("text_index")
+        self.text_index = text_index
+        self.primary = primary
+
+    def apply(self, record: LogRecord, payload: object) -> None:
+        if record.operation != "ingest_delta" or not isinstance(payload, dict):
+            return
+        for subject in payload.get("deleted", []):
+            self.text_index.remove(subject)
+        for subject in payload.get("subjects", []):
+            facts = self.primary.facts_about(subject)
+            if not facts:
+                self.text_index.remove(subject)
+                continue
+            entity = KGEntity.from_triples(subject, facts)
+            description = entity.value("description")
+            text_parts = [*entity.names, *(str(description) if description else "").split()]
+            self.text_index.index(
+                TextDocument(
+                    doc_id=subject,
+                    text=" ".join(str(part) for part in text_parts),
+                    payload={"types": entity.types, "name": entity.primary_name},
+                )
+            )
+
+
+@dataclass
+class EngineStats:
+    """Operational counters of the Graph Engine."""
+
+    operations_published: int = 0
+    subjects_published: int = 0
+    replay_reports: list[ReplayReport] = field(default_factory=list)
+
+
+class GraphEngine:
+    """Federated polystore serving the KG (primary store + derived indexes)."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        log_path: str | None = None,
+        embedding_dimension: int = 32,
+    ) -> None:
+        self.ontology = ontology
+        self.triples = TripleStore()
+        self.analytics = AnalyticsStore()
+        self.entity_store = EntityStore()
+        self.text_index = InvertedTextIndex()
+        self.vector_db = VectorDB(dimension=embedding_dimension)
+        self.log = OperationLog(log_path)
+        self.object_store = ObjectStore()
+        self.metadata = MetadataStore()
+        self.coordinator = AgentCoordinator(self.log, self.object_store, self.metadata)
+        self.coordinator.register(PrimaryStoreAgent(self.triples))
+        self.coordinator.register(AnalyticsAgent(self.analytics))
+        self.coordinator.register(EntityStoreAgent(self.entity_store, self.triples))
+        self.coordinator.register(TextIndexAgent(self.text_index, self.triples))
+        self.view_catalog = ViewCatalog()
+        self.view_manager = ViewManager(self.view_catalog, self._engine_map())
+        self.importance = EntityImportance()
+        self.stats = EngineStats()
+
+    # -------------------------------------------------------------- #
+    # ingest (producer API used by KG construction)
+    # -------------------------------------------------------------- #
+    def publish_subjects(
+        self,
+        source_store: TripleStore,
+        changed_subjects: Iterable[str],
+        source_id: str = "construction",
+        deleted_subjects: Iterable[str] = (),
+        replay: bool = True,
+    ) -> LogRecord:
+        """Publish the current state of *changed_subjects* from a construction store.
+
+        The full fact set of each changed subject is staged (so replay is
+        idempotent), the operation is appended to the durable log, and — by
+        default — agents replay immediately.
+        """
+        subjects = sorted(set(changed_subjects))
+        deleted = sorted(set(deleted_subjects))
+        rows: list[dict] = []
+        for subject in subjects:
+            rows.extend(triple.to_row() for triple in source_store.facts_about(subject))
+        payload = {"subjects": subjects, "deleted": deleted, "triples": rows}
+        key = self.object_store.put(payload)
+        record = self.log.append("ingest_delta", source_id=source_id, payload_key=key)
+        self.stats.operations_published += 1
+        self.stats.subjects_published += len(subjects)
+        if replay:
+            self.replay()
+        return record
+
+    def publish_store(
+        self, source_store: TripleStore, source_id: str = "construction", replay: bool = True
+    ) -> LogRecord:
+        """Publish every subject of *source_store* (bulk load)."""
+        return self.publish_subjects(
+            source_store, source_store.subjects(), source_id=source_id, replay=replay
+        )
+
+    def remove_source(self, source_id: str, replay: bool = True) -> LogRecord:
+        """Publish an on-demand source removal (licensing / deletion requests)."""
+        record = self.log.append("remove_source", source_id=source_id)
+        self.stats.operations_published += 1
+        if replay:
+            self.replay()
+        return record
+
+    def replay(self) -> ReplayReport:
+        """Replay pending log records into every store in dependency order."""
+        ordered = [name for name in AGENT_ORDER if name in self.coordinator.agents]
+        extra = [name for name in sorted(self.coordinator.agents) if name not in ordered]
+        report = self.coordinator.replay(ordered + extra)
+        self.stats.replay_reports.append(report)
+        return report
+
+    # -------------------------------------------------------------- #
+    # freshness
+    # -------------------------------------------------------------- #
+    def freshness(self) -> dict[str, int]:
+        """Per-store lag (in operations) behind the log head."""
+        return self.coordinator.freshness()
+
+    def minimum_version(self) -> int:
+        """The KG version (LSN) every store has reached."""
+        return self.metadata.minimum_watermark()
+
+    # -------------------------------------------------------------- #
+    # query APIs
+    # -------------------------------------------------------------- #
+    def entity(self, entity_id: str) -> EntityDocument | None:
+        """Point lookup of one entity document."""
+        return self.entity_store.get(entity_id)
+
+    def search(self, query: str, k: int = 10) -> list[SearchHit]:
+        """Ranked full-text entity search."""
+        return self.text_index.search(query, k)
+
+    def nearest_neighbors(
+        self, vector: Sequence[float], k: int = 10, attribute_filter: dict | None = None
+    ) -> list[VectorHit]:
+        """Nearest-neighbour search in the vector store."""
+        return self.vector_db.search(vector, k, attribute_filter)
+
+    def entity_view(self, spec: EntityViewSpec) -> Relation:
+        """Compute a schematized entity view in the analytics warehouse."""
+        return self.analytics.entity_view(spec)
+
+    def importance_scores(self) -> dict[str, ImportanceScore]:
+        """Compute structural importance for every entity in the primary store."""
+        scores = self.importance.compute(self.triples)
+        for entity_id, score in scores.items():
+            if entity_id in self.entity_store:
+                self.entity_store.set_importance(entity_id, score.score)
+        return scores
+
+    # -------------------------------------------------------------- #
+    # views
+    # -------------------------------------------------------------- #
+    def register_view(self, definition: ViewDefinition) -> ViewDefinition:
+        """Register a view definition in the central catalog."""
+        return self.view_catalog.register(definition)
+
+    def materialize_views(
+        self, targets: Sequence[str] | None = None, reuse_shared: bool = True
+    ) -> dict[str, float]:
+        """Materialize views (optionally only *targets*); returns per-view seconds."""
+        return self.view_manager.materialize(targets, reuse_shared=reuse_shared)
+
+    def update_views(self, changed_entity_ids: Sequence[str]) -> dict[str, float]:
+        """Incrementally maintain materialized views for the changed entities."""
+        return self.view_manager.update(changed_entity_ids)
+
+    def view_artifact(self, name: str) -> object:
+        """Return the materialized artifact of a registered view."""
+        return self.view_manager.artifact(name)
+
+    def register_standard_views(self) -> list[str]:
+        """Register the production-style view dependency graph of Figure 7.
+
+        ``entity_features`` (analytics) is shared by ``ranked_entity_index``
+        (text index) and ``entity_neighbourhood`` (graph structure for
+        embedding training); ``entity_importance`` feeds the features view.
+        """
+        engine = self
+
+        def build_importance(context: ViewContext) -> list[dict]:
+            return importance_view_rows(engine.importance.compute(engine.triples).values())
+
+        def build_entity_features(context: ViewContext) -> list[dict]:
+            importance_rows = {row["subject"]: row for row in context.artifact("entity_importance")}
+            rows = []
+            for subject in engine.triples.subjects():
+                facts = engine.triples.facts_about(subject)
+                entity = KGEntity.from_triples(subject, facts)
+                importance = importance_rows.get(subject, {})
+                rows.append(
+                    {
+                        "subject": subject,
+                        "name": entity.primary_name,
+                        "types": entity.types,
+                        "fact_count": len(facts),
+                        "alias_count": max(len(entity.names) - 1, 0),
+                        "importance": importance.get("importance", 0.0),
+                        "pagerank": importance.get("pagerank", 0.0),
+                    }
+                )
+            return rows
+
+        def build_ranked_entity_index(context: ViewContext) -> int:
+            features = context.artifact("entity_features")
+            documents = []
+            for row in features:
+                documents.append(
+                    TextDocument(
+                        doc_id=f"ranked:{row['subject']}",
+                        text=row["name"],
+                        boost=1.0 + float(row["importance"]),
+                        payload={"subject": row["subject"], "types": row["types"]},
+                    )
+                )
+            return engine.text_index.index_many(documents)
+
+        def build_entity_neighbourhood(context: ViewContext) -> list[dict]:
+            features = {row["subject"]: row for row in context.artifact("entity_features")}
+            edges = []
+            for triple in engine.triples:
+                if isinstance(triple.obj, str) and triple.obj in features:
+                    edges.append(
+                        {
+                            "source": triple.subject,
+                            "target": triple.obj,
+                            "predicate": triple.relationship_predicate or triple.predicate,
+                            "source_importance": features.get(triple.subject, {}).get(
+                                "importance", 0.0
+                            ),
+                        }
+                    )
+            return edges
+
+        definitions = [
+            ViewDefinition(
+                name="entity_importance",
+                engine="analytics",
+                create=build_importance,
+                description="structural importance metrics per entity (§3.3)",
+            ),
+            ViewDefinition(
+                name="entity_features",
+                engine="analytics",
+                create=build_entity_features,
+                dependencies=("entity_importance",),
+                description="per-entity feature view shared by ranking and embeddings",
+            ),
+            ViewDefinition(
+                name="ranked_entity_index",
+                engine="text_index",
+                create=build_ranked_entity_index,
+                dependencies=("entity_features",),
+                description="importance-boosted full-text entity index",
+            ),
+            ViewDefinition(
+                name="entity_neighbourhood",
+                engine="analytics",
+                create=build_entity_neighbourhood,
+                dependencies=("entity_features",),
+                description="edge list with features for graph-embedding training",
+            ),
+        ]
+        for definition in definitions:
+            if definition.name not in self.view_catalog:
+                self.register_view(definition)
+        return [definition.name for definition in definitions]
+
+    # -------------------------------------------------------------- #
+    # internals
+    # -------------------------------------------------------------- #
+    def _engine_map(self) -> dict[str, object]:
+        return {
+            "triples": self.triples,
+            "analytics": self.analytics,
+            "entity_store": self.entity_store,
+            "text_index": self.text_index,
+            "vector_db": self.vector_db,
+            "ontology": self.ontology,
+        }
+
+    def register_agent(self, agent: OrchestrationAgent) -> None:
+        """Register an additional store agent (polystore extensibility)."""
+        if agent.name in self.coordinator.agents:
+            raise EngineError(f"agent {agent.name!r} already registered")
+        self.coordinator.register(agent)

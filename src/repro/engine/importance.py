@@ -1,0 +1,135 @@
+"""Entity importance from graph structure (Section 3.3).
+
+Popularity signals (song plays, search frequency) cover head entities only, so
+Saga scores *every* entity from four structural signals: in-degree, out-degree,
+number of identities (how many sources contribute facts about the entity), and
+PageRank over the entity graph.  The four metrics are normalized and
+aggregated into a single importance score, and the computation is registered
+as a maintained view over the KG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import networkx as nx
+
+from repro.model.identifiers import is_kg_identifier
+from repro.model.triples import TripleStore
+
+
+@dataclass
+class ImportanceScore:
+    """Structural importance metrics and the aggregate score for one entity."""
+
+    entity_id: str
+    in_degree: int = 0
+    out_degree: int = 0
+    identity_count: int = 0
+    pagerank: float = 0.0
+    score: float = 0.0
+
+
+@dataclass
+class ImportanceConfig:
+    """Aggregation weights and PageRank parameters."""
+
+    weight_in_degree: float = 0.25
+    weight_out_degree: float = 0.15
+    weight_identities: float = 0.25
+    weight_pagerank: float = 0.35
+    pagerank_damping: float = 0.85
+    pagerank_iterations: int = 50
+
+
+class EntityImportance:
+    """Compute structural entity-importance scores over the KG."""
+
+    def __init__(self, config: ImportanceConfig | None = None) -> None:
+        self.config = config or ImportanceConfig()
+
+    def entity_graph(self, store: TripleStore) -> nx.DiGraph:
+        """Directed entity graph: an edge per entity-to-entity reference."""
+        graph = nx.DiGraph()
+        for subject in store.subjects():
+            graph.add_node(subject)
+        for triple in store:
+            obj = triple.obj
+            if isinstance(obj, str) and obj != triple.subject and (
+                is_kg_identifier(obj) or obj in graph
+            ):
+                graph.add_edge(triple.subject, obj)
+        return graph
+
+    def compute(self, store: TripleStore) -> dict[str, ImportanceScore]:
+        """Return importance scores for every entity in *store*."""
+        graph = self.entity_graph(store)
+        if graph.number_of_nodes() == 0:
+            return {}
+        pagerank = nx.pagerank(
+            graph,
+            alpha=self.config.pagerank_damping,
+            max_iter=self.config.pagerank_iterations,
+        )
+        identity_counts = self._identity_counts(store)
+        scores: dict[str, ImportanceScore] = {}
+        for node in graph.nodes:
+            scores[node] = ImportanceScore(
+                entity_id=node,
+                in_degree=graph.in_degree(node),
+                out_degree=graph.out_degree(node),
+                identity_count=identity_counts.get(node, 0),
+                pagerank=pagerank.get(node, 0.0),
+            )
+        self._aggregate(scores)
+        return scores
+
+    def top_entities(self, store: TripleStore, k: int = 10) -> list[ImportanceScore]:
+        """The *k* most important entities."""
+        scores = self.compute(store)
+        ranked = sorted(scores.values(), key=lambda s: (-s.score, s.entity_id))
+        return ranked[:k]
+
+    # -------------------------------------------------------------- #
+    # internals
+    # -------------------------------------------------------------- #
+    def _identity_counts(self, store: TripleStore) -> dict[str, int]:
+        """Number of sources contributing facts for each entity."""
+        sources_by_entity: dict[str, set[str]] = {}
+        for triple in store:
+            bucket = sources_by_entity.setdefault(triple.subject, set())
+            bucket.update(triple.provenance.sources)
+        return {entity: len(sources) for entity, sources in sources_by_entity.items()}
+
+    def _aggregate(self, scores: dict[str, ImportanceScore]) -> None:
+        """Normalize each metric to [0, 1] and blend with the configured weights."""
+        if not scores:
+            return
+        max_in = max((s.in_degree for s in scores.values()), default=0) or 1
+        max_out = max((s.out_degree for s in scores.values()), default=0) or 1
+        max_identity = max((s.identity_count for s in scores.values()), default=0) or 1
+        max_pagerank = max((s.pagerank for s in scores.values()), default=0.0) or 1.0
+        config = self.config
+        for score in scores.values():
+            score.score = (
+                config.weight_in_degree * score.in_degree / max_in
+                + config.weight_out_degree * score.out_degree / max_out
+                + config.weight_identities * score.identity_count / max_identity
+                + config.weight_pagerank * score.pagerank / max_pagerank
+            )
+
+
+def importance_view_rows(scores: Iterable[ImportanceScore]) -> list[dict]:
+    """Render importance scores as relational rows (the registered view output)."""
+    return [
+        {
+            "subject": score.entity_id,
+            "in_degree": score.in_degree,
+            "out_degree": score.out_degree,
+            "identity_count": score.identity_count,
+            "pagerank": score.pagerank,
+            "importance": score.score,
+        }
+        for score in sorted(scores, key=lambda s: (-s.score, s.entity_id))
+    ]

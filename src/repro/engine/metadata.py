@@ -1,0 +1,61 @@
+"""Metadata store: replay watermarks and freshness queries (Section 3.1).
+
+Every orchestration agent records the LSN of the latest operation it has
+successfully replayed.  Consumers use these watermarks to determine whether a
+store serves at least some minimum version of the KG before routing a query
+to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MetadataStore:
+    """Track per-store replay progress and arbitrary platform metadata."""
+
+    watermarks: dict[str, int] = field(default_factory=dict)
+    annotations: dict[str, dict] = field(default_factory=dict)
+
+    # -------------------------------------------------------------- #
+    # watermarks
+    # -------------------------------------------------------------- #
+    def update_watermark(self, store_name: str, lsn: int) -> None:
+        """Record that *store_name* has replayed operations up to *lsn*."""
+        current = self.watermarks.get(store_name, 0)
+        if lsn > current:
+            self.watermarks[store_name] = lsn
+
+    def watermark(self, store_name: str) -> int:
+        """Return the replay watermark of *store_name* (0 when unknown)."""
+        return self.watermarks.get(store_name, 0)
+
+    def minimum_watermark(self) -> int:
+        """The KG version every registered store has reached."""
+        if not self.watermarks:
+            return 0
+        return min(self.watermarks.values())
+
+    def is_fresh(self, store_name: str, required_lsn: int) -> bool:
+        """Whether *store_name* serves at least KG version *required_lsn*."""
+        return self.watermark(store_name) >= required_lsn
+
+    def lagging_stores(self, head_lsn: int) -> dict[str, int]:
+        """Stores behind *head_lsn* and how far behind they are."""
+        return {
+            name: head_lsn - lsn
+            for name, lsn in self.watermarks.items()
+            if lsn < head_lsn
+        }
+
+    # -------------------------------------------------------------- #
+    # annotations
+    # -------------------------------------------------------------- #
+    def annotate(self, key: str, **values: object) -> None:
+        """Attach free-form platform metadata under *key*."""
+        self.annotations.setdefault(key, {}).update(values)
+
+    def annotation(self, key: str) -> dict:
+        """Return the metadata stored under *key* (empty dict when absent)."""
+        return dict(self.annotations.get(key, {}))

@@ -1,0 +1,125 @@
+"""Full-text search with ranking over entity names and descriptions.
+
+The "Text Index" store of the Graph Engine (Figure 6): an inverted index with
+BM25 ranking used for full-text entity retrieval (ranked entity index views,
+candidate retrieval for NERD, and search-style queries).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.ml.similarity import tokens
+
+
+@dataclass
+class TextDocument:
+    """One indexable document (usually an entity's names + description)."""
+
+    doc_id: str
+    text: str
+    boost: float = 1.0
+    payload: dict = field(default_factory=dict)
+
+
+@dataclass
+class SearchHit:
+    """One ranked search result."""
+
+    doc_id: str
+    score: float
+    payload: dict = field(default_factory=dict)
+
+
+class InvertedTextIndex:
+    """BM25-ranked inverted index with incremental add/remove."""
+
+    def __init__(self, k1: float = 1.4, b: float = 0.75) -> None:
+        self.k1 = k1
+        self.b = b
+        self._documents: dict[str, TextDocument] = {}
+        self._doc_terms: dict[str, dict[str, int]] = {}
+        self._postings: dict[str, set[str]] = defaultdict(set)
+        self._total_length = 0
+        self.searches = 0
+
+    # -------------------------------------------------------------- #
+    # maintenance
+    # -------------------------------------------------------------- #
+    def index(self, document: TextDocument) -> None:
+        """Add or replace a document."""
+        if document.doc_id in self._documents:
+            self.remove(document.doc_id)
+        term_counts: dict[str, int] = defaultdict(int)
+        for term in tokens(document.text):
+            term_counts[term] += 1
+        self._documents[document.doc_id] = document
+        self._doc_terms[document.doc_id] = dict(term_counts)
+        for term in term_counts:
+            self._postings[term].add(document.doc_id)
+        self._total_length += sum(term_counts.values())
+
+    def index_many(self, documents: Iterable[TextDocument]) -> int:
+        """Index several documents; returns how many were indexed."""
+        count = 0
+        for document in documents:
+            self.index(document)
+            count += 1
+        return count
+
+    def remove(self, doc_id: str) -> bool:
+        """Remove a document; returns ``True`` when it existed."""
+        document = self._documents.pop(doc_id, None)
+        if document is None:
+            return False
+        term_counts = self._doc_terms.pop(doc_id, {})
+        for term in term_counts:
+            self._postings[term].discard(doc_id)
+            if not self._postings[term]:
+                del self._postings[term]
+        self._total_length -= sum(term_counts.values())
+        return True
+
+    # -------------------------------------------------------------- #
+    # search
+    # -------------------------------------------------------------- #
+    def search(self, query: str, k: int = 10) -> list[SearchHit]:
+        """Return the top-*k* documents for *query* ranked by BM25."""
+        self.searches += 1
+        query_terms = tokens(query)
+        if not query_terms or not self._documents:
+            return []
+        average_length = self._total_length / max(len(self._documents), 1)
+        scores: dict[str, float] = defaultdict(float)
+        total_docs = len(self._documents)
+        for term in query_terms:
+            posting = self._postings.get(term)
+            if not posting:
+                continue
+            idf = math.log(1.0 + (total_docs - len(posting) + 0.5) / (len(posting) + 0.5))
+            for doc_id in posting:
+                term_frequency = self._doc_terms[doc_id].get(term, 0)
+                doc_length = sum(self._doc_terms[doc_id].values())
+                denominator = term_frequency + self.k1 * (
+                    1 - self.b + self.b * doc_length / max(average_length, 1e-9)
+                )
+                scores[doc_id] += idf * term_frequency * (self.k1 + 1) / max(denominator, 1e-9)
+        hits = [
+            SearchHit(
+                doc_id=doc_id,
+                score=score * self._documents[doc_id].boost,
+                payload=self._documents[doc_id].payload,
+            )
+            for doc_id, score in scores.items()
+        ]
+        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return hits[:k]
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._documents

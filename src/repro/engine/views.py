@@ -1,0 +1,287 @@
+"""KG views: catalog, dependency graph, materialization, incremental updates.
+
+Section 3.2: a view is *any* transformation of the graph — subgraph views,
+schematized relational views, aggregates, iterative algorithms (PageRank), or
+alternative representations (embeddings).  View definitions are scripted
+against the target engine's native APIs and provide three procedures (create,
+update-given-changed-entity-ids, drop).  Definitions live in a central view
+catalog with their dependencies; the View Manager coordinates execution over
+the dependency graph, which enables the 26% runtime saving from reusing shared
+intermediate views reported in the paper (the VIEWDEP benchmark re-measures
+this effect).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import networkx as nx
+
+from repro.errors import ViewError
+
+
+@dataclass
+class ViewContext:
+    """Execution context handed to view procedures.
+
+    ``engines`` exposes the Graph Engine's stores by name (``analytics``,
+    ``entity_store``, ``text_index``, ``vector_db``, ``triples``, ...);
+    ``artifacts`` holds the materialized results of dependency views.
+    """
+
+    engines: dict[str, object] = field(default_factory=dict)
+    artifacts: dict[str, object] = field(default_factory=dict)
+
+    def engine(self, name: str) -> object:
+        """Return the engine registered under *name*."""
+        try:
+            return self.engines[name]
+        except KeyError:
+            raise ViewError(f"no engine named {name!r} available to views") from None
+
+    def artifact(self, view_name: str) -> object:
+        """Return the materialized artifact of a dependency view."""
+        try:
+            return self.artifacts[view_name]
+        except KeyError:
+            raise ViewError(
+                f"view dependency {view_name!r} has not been materialized"
+            ) from None
+
+
+CreateProcedure = Callable[[ViewContext], object]
+UpdateProcedure = Callable[[ViewContext, list[str]], object]
+DropProcedure = Callable[[ViewContext], None]
+
+
+@dataclass
+class ViewDefinition:
+    """A registered view: procedures plus dependency and SLA metadata."""
+
+    name: str
+    engine: str
+    create: CreateProcedure
+    update: UpdateProcedure | None = None
+    drop: DropProcedure | None = None
+    dependencies: tuple[str, ...] = ()
+    freshness_sla: float | None = None     # seconds of staleness tolerated
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ViewError("view name must be non-empty")
+        if not callable(self.create):
+            raise ViewError(f"view {self.name!r} needs a callable create procedure")
+
+
+@dataclass
+class ViewState:
+    """Runtime state of one registered view."""
+
+    materialized: bool = False
+    artifact: object = None
+    last_built_at: float = 0.0
+    last_build_seconds: float = 0.0
+    builds: int = 0
+    incremental_updates: int = 0
+
+
+class ViewCatalog:
+    """Central registry of view definitions and their dependency graph."""
+
+    def __init__(self) -> None:
+        self._definitions: dict[str, ViewDefinition] = {}
+
+    def register(self, definition: ViewDefinition) -> ViewDefinition:
+        """Register a view; dependencies must already be registered."""
+        for dependency in definition.dependencies:
+            if dependency not in self._definitions:
+                raise ViewError(
+                    f"view {definition.name!r} depends on unknown view {dependency!r}"
+                )
+        self._definitions[definition.name] = definition
+        return definition
+
+    def get(self, name: str) -> ViewDefinition:
+        """Return the definition registered under *name*."""
+        try:
+            return self._definitions[name]
+        except KeyError:
+            raise ViewError(f"unknown view {name!r}") from None
+
+    def names(self) -> list[str]:
+        """All registered view names."""
+        return sorted(self._definitions)
+
+    def dependency_graph(self) -> nx.DiGraph:
+        """Directed graph with an edge dependency → dependent view."""
+        graph = nx.DiGraph()
+        for name, definition in self._definitions.items():
+            graph.add_node(name)
+            for dependency in definition.dependencies:
+                graph.add_edge(dependency, name)
+        return graph
+
+    def execution_order(self, targets: Iterable[str] | None = None) -> list[str]:
+        """Topological execution order covering *targets* and their dependencies."""
+        graph = self.dependency_graph()
+        if not nx.is_directed_acyclic_graph(graph):
+            raise ViewError("view dependency graph contains a cycle")
+        if targets is None:
+            return list(nx.topological_sort(graph))
+        needed: set[str] = set()
+        frontier = list(targets)
+        while frontier:
+            name = frontier.pop()
+            if name in needed:
+                continue
+            needed.add(name)
+            frontier.extend(self.get(name).dependencies)
+        return [name for name in nx.topological_sort(graph) if name in needed]
+
+    def dependents_of(self, name: str) -> list[str]:
+        """Views that (transitively) depend on *name*."""
+        graph = self.dependency_graph()
+        if name not in graph:
+            return []
+        return sorted(nx.descendants(graph, name))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._definitions
+
+    def __len__(self) -> int:
+        return len(self._definitions)
+
+
+class ViewManager:
+    """Materialize and maintain views over the Graph Engine's stores."""
+
+    def __init__(self, catalog: ViewCatalog, engines: dict[str, object]) -> None:
+        self.catalog = catalog
+        self.engines = engines
+        self.states: dict[str, ViewState] = {}
+
+    # -------------------------------------------------------------- #
+    # materialization
+    # -------------------------------------------------------------- #
+    def materialize(
+        self, targets: Sequence[str] | None = None, reuse_shared: bool = True
+    ) -> dict[str, float]:
+        """Materialize the target views (or all) and return per-view seconds.
+
+        With ``reuse_shared=True`` every view in the dependency closure is
+        built exactly once and its artifact reused by all dependents — the
+        multi-query-optimization practice behind the paper's 26% saving.  With
+        ``reuse_shared=False`` each target rebuilds its own dependency chain,
+        emulating the naive one-pipeline-per-view deployment.
+        """
+        timings: dict[str, float] = {}
+        if reuse_shared:
+            order = self.catalog.execution_order(targets)
+            context = ViewContext(engines=self.engines)
+            for name in order:
+                seconds = self._build_view(name, context)
+                timings[name] = timings.get(name, 0.0) + seconds
+            return timings
+
+        target_names = list(targets) if targets is not None else self.catalog.names()
+        for target in target_names:
+            context = ViewContext(engines=self.engines)
+            for name in self.catalog.execution_order([target]):
+                seconds = self._build_view(name, context)
+                timings[name] = timings.get(name, 0.0) + seconds
+        return timings
+
+    def _build_view(self, name: str, context: ViewContext) -> float:
+        definition = self.catalog.get(name)
+        started = time.perf_counter()
+        artifact = definition.create(context)
+        elapsed = time.perf_counter() - started
+        context.artifacts[name] = artifact
+        state = self.states.setdefault(name, ViewState())
+        state.materialized = True
+        state.artifact = artifact
+        state.last_built_at = time.time()
+        state.last_build_seconds = elapsed
+        state.builds += 1
+        return elapsed
+
+    # -------------------------------------------------------------- #
+    # incremental maintenance
+    # -------------------------------------------------------------- #
+    def update(self, changed_entity_ids: Sequence[str]) -> dict[str, float]:
+        """Incrementally update every materialized view for the changed entities.
+
+        Views without an ``update`` procedure are rebuilt from scratch, which
+        is the fallback the paper allows for non-incrementally-maintainable
+        views (e.g. iterative algorithms).
+        """
+        timings: dict[str, float] = {}
+        context = ViewContext(engines=self.engines, artifacts=self._artifacts())
+        for name in self.catalog.execution_order():
+            state = self.states.get(name)
+            if state is None or not state.materialized:
+                continue
+            definition = self.catalog.get(name)
+            started = time.perf_counter()
+            if definition.update is not None:
+                artifact = definition.update(context, list(changed_entity_ids))
+                state.incremental_updates += 1
+            else:
+                artifact = definition.create(context)
+                state.builds += 1
+            elapsed = time.perf_counter() - started
+            if artifact is not None:
+                state.artifact = artifact
+                context.artifacts[name] = artifact
+            state.last_built_at = time.time()
+            timings[name] = elapsed
+        return timings
+
+    def drop(self, name: str) -> None:
+        """Drop one view's materialization (calls its drop procedure if any)."""
+        definition = self.catalog.get(name)
+        state = self.states.get(name)
+        if definition.drop is not None and state is not None and state.materialized:
+            definition.drop(ViewContext(engines=self.engines, artifacts=self._artifacts()))
+        self.states.pop(name, None)
+
+    # -------------------------------------------------------------- #
+    # access
+    # -------------------------------------------------------------- #
+    def artifact(self, name: str) -> object:
+        """Return the materialized artifact of *name*."""
+        state = self.states.get(name)
+        if state is None or not state.materialized:
+            raise ViewError(f"view {name!r} has not been materialized")
+        return state.artifact
+
+    def is_materialized(self, name: str) -> bool:
+        """Whether *name* currently has a materialized artifact."""
+        state = self.states.get(name)
+        return bool(state and state.materialized)
+
+    def stale_views(self, now: float | None = None) -> list[str]:
+        """Views whose freshness SLA is violated at time *now*."""
+        current = now if now is not None else time.time()
+        stale = []
+        for name in self.catalog.names():
+            definition = self.catalog.get(name)
+            state = self.states.get(name)
+            if definition.freshness_sla is None:
+                continue
+            if state is None or not state.materialized:
+                stale.append(name)
+                continue
+            if current - state.last_built_at > definition.freshness_sla:
+                stale.append(name)
+        return stale
+
+    def _artifacts(self) -> dict[str, object]:
+        return {
+            name: state.artifact
+            for name, state in self.states.items()
+            if state.materialized
+        }

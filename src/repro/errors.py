@@ -1,0 +1,96 @@
+"""Exception hierarchy shared by every Saga-reproduction subsystem.
+
+Each layer of the platform raises a subclass of :class:`SagaError` so callers
+can catch platform failures without masking programming errors (``TypeError``,
+``KeyError`` and friends are never converted).
+"""
+
+from __future__ import annotations
+
+
+class SagaError(Exception):
+    """Base class for every error raised by the platform."""
+
+
+class DataModelError(SagaError):
+    """Raised when a triple, entity, or ontology object is malformed."""
+
+
+class OntologyError(DataModelError):
+    """Raised when a type or predicate is missing from the ontology."""
+
+
+class IngestionError(SagaError):
+    """Raised by the source-ingestion pipeline (import, transform, align)."""
+
+
+class IntegrityError(IngestionError):
+    """Raised when a source entity violates a data-integrity check."""
+
+
+class AlignmentError(IngestionError):
+    """Raised when ontology alignment configuration is invalid."""
+
+
+class ConstructionError(SagaError):
+    """Raised by the knowledge-construction pipeline (linking, fusion)."""
+
+
+class LinkingError(ConstructionError):
+    """Raised during blocking, matching, or resolution."""
+
+
+class FusionError(ConstructionError):
+    """Raised when fusing linked payloads into the knowledge graph."""
+
+
+class EngineError(SagaError):
+    """Raised by the graph engine (stores, views, orchestration)."""
+
+
+class StoreError(EngineError):
+    """Raised by an individual storage engine."""
+
+
+class ViewError(EngineError):
+    """Raised by the view catalog or view manager."""
+
+
+class LogError(EngineError):
+    """Raised by the durable operation log."""
+
+
+class LiveGraphError(SagaError):
+    """Raised by the live-graph construction and query stack."""
+
+
+class KGQSyntaxError(LiveGraphError):
+    """Raised when a KGQ query fails to parse."""
+
+
+class KGQPlanError(LiveGraphError):
+    """Raised when a parsed KGQ query cannot be compiled to a plan."""
+
+
+class IntentError(LiveGraphError):
+    """Raised when an intent cannot be routed to an executable query."""
+
+
+class CurationError(LiveGraphError):
+    """Raised by the human-in-the-loop curation pipeline."""
+
+
+class MLError(SagaError):
+    """Raised by the graph machine-learning stack."""
+
+
+class TrainingError(MLError):
+    """Raised when a model cannot be trained on the provided data."""
+
+
+class NERDError(MLError):
+    """Raised by the entity recognition and disambiguation service."""
+
+
+class EmbeddingError(MLError):
+    """Raised by the knowledge-graph embedding subsystem."""

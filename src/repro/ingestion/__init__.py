@@ -1,0 +1,54 @@
+"""Source ingestion: importers, entity transform, ontology alignment, deltas."""
+
+from repro.ingestion.alignment import (
+    PGF,
+    AlignmentConfig,
+    AlignmentReport,
+    OntologyAligner,
+    PredicateGenerationFunction,
+    join_title,
+    split_list,
+    to_float,
+    to_int,
+)
+from repro.ingestion.delta import DeltaComputer
+from repro.ingestion.export import ExportedDelta, export_delta, export_entities
+from repro.ingestion.importers import (
+    CompositeImporter,
+    CSVImporter,
+    InMemoryImporter,
+    JSONImporter,
+    JSONLinesImporter,
+    make_importer,
+    register_importer,
+)
+from repro.ingestion.pipeline import IngestionHub, IngestionPipeline, IngestionResult
+from repro.ingestion.transform import EntityTransformer, IntegrityReport
+
+__all__ = [
+    "PGF",
+    "AlignmentConfig",
+    "AlignmentReport",
+    "CSVImporter",
+    "CompositeImporter",
+    "DeltaComputer",
+    "EntityTransformer",
+    "ExportedDelta",
+    "InMemoryImporter",
+    "IngestionHub",
+    "IngestionPipeline",
+    "IngestionResult",
+    "IntegrityReport",
+    "JSONImporter",
+    "JSONLinesImporter",
+    "OntologyAligner",
+    "PredicateGenerationFunction",
+    "export_delta",
+    "export_entities",
+    "join_title",
+    "make_importer",
+    "register_importer",
+    "split_list",
+    "to_float",
+    "to_int",
+]

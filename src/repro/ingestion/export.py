@@ -1,0 +1,57 @@
+"""Export stage: ontology-aligned entities → extended triples (Section 2.2).
+
+The export stage produces extended triples in the KG-ontology schema so that
+knowledge construction can consume them cheaply ("lightweight ingestion" in
+§2.4: the triplication of composite relationship nodes happens here, so the
+construction side never needs self-joins to recover one-hop facts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.model.delta import SourceDelta
+from repro.model.entity import SourceEntity
+from repro.model.triples import ExtendedTriple
+
+
+@dataclass
+class ExportedDelta:
+    """A :class:`SourceDelta` rendered as extended-triple payloads."""
+
+    source_id: str
+    added: dict[str, list[ExtendedTriple]]
+    updated: dict[str, list[ExtendedTriple]]
+    deleted: list[str]
+    volatile: dict[str, list[ExtendedTriple]]
+    from_timestamp: int = 0
+    to_timestamp: int = 0
+
+    def triple_count(self) -> int:
+        """Total number of exported triples across all partitions."""
+        count = 0
+        for payload in (self.added, self.updated, self.volatile):
+            count += sum(len(triples) for triples in payload.values())
+        return count
+
+
+def export_entities(entities: Iterable[SourceEntity]) -> dict[str, list[ExtendedTriple]]:
+    """Flatten every entity into extended triples keyed by source entity id."""
+    exported: dict[str, list[ExtendedTriple]] = {}
+    for entity in entities:
+        exported[entity.entity_id] = entity.to_triples()
+    return exported
+
+
+def export_delta(delta: SourceDelta) -> ExportedDelta:
+    """Render a source delta as extended-triple payloads for construction."""
+    return ExportedDelta(
+        source_id=delta.source_id,
+        added=export_entities(delta.added),
+        updated=export_entities(delta.updated),
+        deleted=[entity.entity_id for entity in delta.deleted],
+        volatile=export_entities(delta.volatile),
+        from_timestamp=delta.from_timestamp,
+        to_timestamp=delta.to_timestamp,
+    )

@@ -1,0 +1,68 @@
+"""The Live Knowledge Graph: streaming construction, KGQ serving, curation."""
+
+from repro.live.construction import (
+    EntityResolutionClient,
+    LiveConstructionStats,
+    LiveGraphConstruction,
+)
+from repro.live.context import ContextGraph, ContextTurn
+from repro.live.curation import (
+    CurationDecision,
+    CurationPipeline,
+    FindingKind,
+    QuarantinedFact,
+    VandalismDetector,
+)
+from repro.live.engine import IntentAnswer, LiveGraphEngine
+from repro.live.executor import QueryCache, QueryExecutor, QueryResult, QueryResultRow
+from repro.live.index import (
+    GraphKVStore,
+    InvertedGraphIndex,
+    LiveEntityDocument,
+    LiveIndex,
+)
+from repro.live.intents import Intent, IntentHandler, IntentRoute, default_intent_handler
+from repro.live.kgq import (
+    CallQuery,
+    Condition,
+    Query,
+    VirtualOperatorRegistry,
+    default_virtual_operators,
+    parse,
+)
+from repro.live.planner import PhysicalPlan, QueryPlanner
+
+__all__ = [
+    "CallQuery",
+    "Condition",
+    "ContextGraph",
+    "ContextTurn",
+    "CurationDecision",
+    "CurationPipeline",
+    "EntityResolutionClient",
+    "FindingKind",
+    "GraphKVStore",
+    "Intent",
+    "IntentAnswer",
+    "IntentHandler",
+    "IntentRoute",
+    "InvertedGraphIndex",
+    "LiveConstructionStats",
+    "LiveEntityDocument",
+    "LiveGraphConstruction",
+    "LiveGraphEngine",
+    "LiveIndex",
+    "PhysicalPlan",
+    "QuarantinedFact",
+    "Query",
+    "QueryCache",
+    "QueryExecutor",
+    "QueryPlanner",
+    "QueryResult",
+    "QueryResultRow",
+    "VandalismDetector",
+    "VirtualOperatorRegistry",
+    "default_intent_handler",
+    "default_virtual_operators",
+    "parse",
+]

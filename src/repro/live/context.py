@@ -1,0 +1,91 @@
+"""Multi-turn query context (§4.2).
+
+The live query engine keeps a context graph of previous intents, their
+arguments, and their answers so that follow-up queries can be resolved:
+
+* "How about Tom Hanks?" reuses the previous *intent* with a new argument;
+* "Where is she from?" uses a new intent whose argument is pulled from the
+  previous *answer* (or argument) in the context graph.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.live.intents import Intent
+
+_PRONOUNS = {"she", "he", "they", "her", "him", "them", "it"}
+_FOLLOW_UP_PATTERN = re.compile(r"^(how|what|and) about (?P<argument>.+?)\??$", re.IGNORECASE)
+
+
+@dataclass
+class ContextTurn:
+    """One completed interaction stored in the context graph."""
+
+    intent: Intent
+    answer_entity: str | None = None
+    answer_text: str | None = None
+
+
+@dataclass
+class ContextGraph:
+    """Bounded history of interactions used to bind follow-up queries."""
+
+    max_turns: int = 10
+    turns: list[ContextTurn] = field(default_factory=list)
+
+    def record(self, intent: Intent, answer_entity: str | None, answer_text: str | None) -> None:
+        """Record one completed interaction."""
+        self.turns.append(
+            ContextTurn(intent=intent, answer_entity=answer_entity, answer_text=answer_text)
+        )
+        if len(self.turns) > self.max_turns:
+            self.turns.pop(0)
+
+    def last_turn(self) -> ContextTurn | None:
+        """Most recent interaction, if any."""
+        return self.turns[-1] if self.turns else None
+
+    def last_intent(self) -> Intent | None:
+        """Intent of the most recent interaction."""
+        turn = self.last_turn()
+        return turn.intent if turn else None
+
+    def last_answer(self) -> str | None:
+        """Answer text of the most recent interaction."""
+        turn = self.last_turn()
+        if turn is None:
+            return None
+        return turn.answer_text or turn.answer_entity
+
+    def clear(self) -> None:
+        """Forget the conversation history."""
+        self.turns.clear()
+
+    # -------------------------------------------------------------- #
+    # reference resolution
+    # -------------------------------------------------------------- #
+    def resolve_intent(self, intent: Intent) -> Intent:
+        """Bind missing or pronominal arguments of *intent* from context.
+
+        An intent whose argument is empty or a pronoun takes the previous
+        turn's answer as its argument (the "Where is she from?" case).
+        """
+        if intent.arguments and intent.arguments[0].lower() not in _PRONOUNS:
+            return intent
+        previous_answer = self.last_answer()
+        if previous_answer is None:
+            return intent
+        return Intent(name=intent.name, arguments=(previous_answer,))
+
+    def resolve_follow_up(self, utterance: str) -> Intent | None:
+        """Interpret "How about X?"-style follow-ups using the previous intent."""
+        match = _FOLLOW_UP_PATTERN.match(utterance.strip())
+        if match is None:
+            return None
+        previous = self.last_intent()
+        if previous is None:
+            return None
+        argument = match.group("argument").strip().strip("?")
+        return Intent(name=previous.name, arguments=(argument,))

@@ -1,0 +1,213 @@
+"""Live graph curation: detect, quarantine, and hot-fix bad facts (§4.3).
+
+Source quality varies: some feeds occasionally contain errors, and community
+sources are subject to vandalism.  The curation pipeline detects suspicious
+facts, quarantines them for human review, and turns curator decisions into a
+*streaming data source*: accepted edits are hot-fixed in the live index right
+away and also forwarded to stable KG construction so corrections persist.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable
+
+from repro.datagen.streams import LiveEvent
+from repro.errors import CurationError
+from repro.live.index import LiveEntityDocument
+from repro.model.entity import SourceEntity
+
+
+class FindingKind(str, Enum):
+    """Why a fact was quarantined."""
+
+    NUMERIC_OUTLIER = "numeric_outlier"
+    SUSPICIOUS_TEXT = "suspicious_text"
+    SCHEMA_VIOLATION = "schema_violation"
+    MANUAL_REPORT = "manual_report"
+
+
+@dataclass
+class QuarantinedFact:
+    """A fact awaiting human review."""
+
+    entity_id: str
+    predicate: str
+    value: object
+    kind: FindingKind
+    detail: str = ""
+    resolved: bool = False
+
+
+@dataclass
+class CurationDecision:
+    """A curator's verdict on a quarantined fact."""
+
+    entity_id: str
+    predicate: str
+    action: str                      # "block" | "edit" | "approve"
+    replacement: object | None = None
+    curator: str = "curation_team"
+
+
+_VANDALISM_PATTERN = re.compile(
+    r"(?:!!!|\?\?\?|lol|fake|hoax|asdf|xxxx|spam)", re.IGNORECASE
+)
+
+DetectorFn = Callable[[LiveEntityDocument], list[QuarantinedFact]]
+
+
+class VandalismDetector:
+    """Rule-based detection of likely errors and vandalism in live documents."""
+
+    def __init__(
+        self,
+        numeric_bounds: dict[str, tuple[float, float]] | None = None,
+        extra_detectors: Iterable[DetectorFn] = (),
+    ) -> None:
+        self.numeric_bounds = numeric_bounds or {
+            "home_score": (0, 300),
+            "away_score": (0, 300),
+            "stock_price": (0.0, 1_000_000.0),
+            "population": (0, 2_000_000_000),
+            "duration_seconds": (1, 36_000),
+        }
+        self.extra_detectors = list(extra_detectors)
+
+    def inspect(self, document: LiveEntityDocument) -> list[QuarantinedFact]:
+        """Return quarantine findings for one live document."""
+        findings: list[QuarantinedFact] = []
+        for predicate, values in document.facts.items():
+            for value in values:
+                findings.extend(self._inspect_value(document.entity_id, predicate, value))
+        for detector in self.extra_detectors:
+            findings.extend(detector(document))
+        return findings
+
+    def _inspect_value(
+        self, entity_id: str, predicate: str, value: object
+    ) -> list[QuarantinedFact]:
+        findings = []
+        bounds = self.numeric_bounds.get(predicate)
+        if bounds is not None:
+            try:
+                number = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                findings.append(
+                    QuarantinedFact(
+                        entity_id, predicate, value, FindingKind.SCHEMA_VIOLATION,
+                        detail=f"{predicate} should be numeric",
+                    )
+                )
+            else:
+                low, high = bounds
+                if not low <= number <= high:
+                    findings.append(
+                        QuarantinedFact(
+                            entity_id, predicate, value, FindingKind.NUMERIC_OUTLIER,
+                            detail=f"{number} outside [{low}, {high}]",
+                        )
+                    )
+        if isinstance(value, str) and _VANDALISM_PATTERN.search(value):
+            findings.append(
+                QuarantinedFact(
+                    entity_id, predicate, value, FindingKind.SUSPICIOUS_TEXT,
+                    detail="matched vandalism pattern",
+                )
+            )
+        return findings
+
+
+class CurationPipeline:
+    """Quarantine queue plus the curation streaming source."""
+
+    def __init__(self, detector: VandalismDetector | None = None) -> None:
+        self.detector = detector or VandalismDetector()
+        self.quarantine: list[QuarantinedFact] = []
+        self.decisions: list[CurationDecision] = []
+        self._clock = 0
+
+    # -------------------------------------------------------------- #
+    # detection
+    # -------------------------------------------------------------- #
+    def screen(self, document: LiveEntityDocument) -> list[QuarantinedFact]:
+        """Screen one document, quarantining anything suspicious."""
+        findings = self.detector.inspect(document)
+        self.quarantine.extend(findings)
+        return findings
+
+    def report(self, entity_id: str, predicate: str, value: object, detail: str = "") -> QuarantinedFact:
+        """Manually report a fact (user feedback path)."""
+        finding = QuarantinedFact(
+            entity_id, predicate, value, FindingKind.MANUAL_REPORT, detail=detail
+        )
+        self.quarantine.append(finding)
+        return finding
+
+    def pending(self) -> list[QuarantinedFact]:
+        """Quarantined facts awaiting a decision."""
+        return [finding for finding in self.quarantine if not finding.resolved]
+
+    # -------------------------------------------------------------- #
+    # curator decisions
+    # -------------------------------------------------------------- #
+    def decide(self, decision: CurationDecision) -> list[LiveEvent]:
+        """Apply a curator decision; returns the hot-fix events it emits.
+
+        ``block`` removes the offending fact from serving, ``edit`` replaces
+        its value, ``approve`` releases the quarantine without changes.  The
+        emitted events form the curation streaming source consumed by both the
+        live graph (hot fix) and stable construction.
+        """
+        if decision.action not in ("block", "edit", "approve"):
+            raise CurationError(f"unknown curation action {decision.action!r}")
+        matched = False
+        for finding in self.quarantine:
+            if (
+                finding.entity_id == decision.entity_id
+                and finding.predicate == decision.predicate
+                and not finding.resolved
+            ):
+                finding.resolved = True
+                matched = True
+        if not matched and decision.action != "edit":
+            raise CurationError(
+                f"no quarantined fact for {decision.entity_id}/{decision.predicate}"
+            )
+        self.decisions.append(decision)
+        if decision.action == "approve":
+            return []
+        self._clock += 1
+        payload: dict[str, object] = {"name": decision.entity_id}
+        if decision.action == "edit":
+            payload[decision.predicate] = decision.replacement
+        return [
+            LiveEvent(
+                source_id="curation",
+                event_id=decision.entity_id,
+                entity_type="curation" if decision.action == "block" else "",
+                payload=payload,
+                timestamp=self._clock,
+            )
+        ]
+
+    # -------------------------------------------------------------- #
+    # stable-construction feed
+    # -------------------------------------------------------------- #
+    def as_source_entities(self) -> list[SourceEntity]:
+        """Render accepted edits as a curation source for stable construction."""
+        entities = []
+        for decision in self.decisions:
+            if decision.action != "edit":
+                continue
+            entities.append(
+                SourceEntity(
+                    entity_id=f"curation:{decision.entity_id}",
+                    properties={decision.predicate: decision.replacement},
+                    source_id="curation",
+                    trust=0.99,
+                )
+            )
+        return entities

@@ -1,0 +1,163 @@
+"""The Live Graph Query Engine facade (Section 4, Figure 9).
+
+Ties together live construction, the sharded indexes, the KGQ compiler and
+executor, intent handling, multi-turn context, and the curation pipeline into
+one object that examples, tests, and benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.datagen.streams import LiveEvent
+from repro.errors import IntentError
+from repro.live.construction import EntityResolutionClient, LiveGraphConstruction
+from repro.live.context import ContextGraph
+from repro.live.curation import CurationDecision, CurationPipeline
+from repro.live.executor import QueryExecutor, QueryResult
+from repro.live.index import LiveIndex
+from repro.live.intents import Intent, IntentHandler, default_intent_handler
+from repro.live.kgq import (
+    CallQuery,
+    Query,
+    VirtualOperatorRegistry,
+    default_virtual_operators,
+    parse,
+)
+from repro.live.planner import PhysicalPlan, QueryPlanner
+from repro.model.triples import TripleStore
+
+
+@dataclass
+class IntentAnswer:
+    """Answer of an intent execution, including the raw query result."""
+
+    intent: Intent
+    answer: object | None
+    result: QueryResult
+    route_column: str = ""
+
+
+class LiveGraphEngine:
+    """Low-latency serving over the union of stable and streaming knowledge."""
+
+    def __init__(
+        self,
+        resolution_service=None,
+        num_shards: int = 4,
+        virtual_operators: VirtualOperatorRegistry | None = None,
+        intent_handler: IntentHandler | None = None,
+    ) -> None:
+        self.index = LiveIndex(num_shards)
+        resolution_client = (
+            EntityResolutionClient(resolution_service) if resolution_service is not None else None
+        )
+        self.construction = LiveGraphConstruction(self.index, resolution_client)
+        self.virtual_operators = virtual_operators or default_virtual_operators()
+        self.planner = QueryPlanner(self.virtual_operators)
+        self.executor = QueryExecutor(self.index)
+        self.intents = intent_handler or default_intent_handler(self.index)
+        self.context = ContextGraph()
+        self.curation = CurationPipeline()
+
+    # -------------------------------------------------------------- #
+    # construction
+    # -------------------------------------------------------------- #
+    def load_stable_view(self, store: TripleStore, entity_types: Sequence[str] = ()) -> int:
+        """Load a stable-KG view into the live index."""
+        loaded = self.construction.load_stable_view(store, entity_types)
+        self.executor.invalidate_cache()
+        return loaded
+
+    def ingest_events(self, events: Iterable[LiveEvent], screen: bool = True) -> int:
+        """Ingest streaming events, optionally screening them for curation."""
+        count = 0
+        for event in events:
+            document = self.construction.ingest_event(event)
+            if screen:
+                self.curation.screen(document)
+            count += 1
+        if count:
+            self.executor.invalidate_cache()
+        return count
+
+    def apply_curation_decision(self, decision: CurationDecision) -> int:
+        """Apply a curator decision as a hot fix to the live index."""
+        events = self.curation.decide(decision)
+        applied = 0
+        for event in events:
+            if decision.action == "block":
+                if self.construction.apply_curation(event.event_id, {}, block=True):
+                    applied += 1
+            else:
+                edits = {k: v for k, v in event.payload.items() if k != "name"}
+                if self.construction.apply_curation(event.event_id, edits):
+                    applied += 1
+        if applied:
+            self.executor.invalidate_cache()
+        return applied
+
+    # -------------------------------------------------------------- #
+    # querying
+    # -------------------------------------------------------------- #
+    def compile(self, query_text: str) -> PhysicalPlan:
+        """Parse and plan a KGQ query string."""
+        return self.planner.plan(parse(query_text))
+
+    def query(self, query: str | Query | CallQuery, use_cache: bool = True) -> QueryResult:
+        """Execute a KGQ query (text or pre-parsed) against the live index."""
+        if isinstance(query, str):
+            plan = self.compile(query)
+        else:
+            plan = self.planner.plan(query)
+        return self.executor.execute(plan, use_cache=use_cache)
+
+    def explain(self, query_text: str) -> list[str]:
+        """Return the physical plan of a query as EXPLAIN-style lines."""
+        return self.compile(query_text).explain()
+
+    # -------------------------------------------------------------- #
+    # intents and multi-turn context
+    # -------------------------------------------------------------- #
+    def answer_intent(self, intent: Intent, record_context: bool = True) -> IntentAnswer:
+        """Route an intent, execute its query, and record the turn in context."""
+        resolved = self.context.resolve_intent(intent)
+        query, route = self.intents.route(resolved)
+        result = self.query(query)
+        answer = result.first_value(route.answer_column) if route.answer_column else (
+            result.rows[0].values if result.rows else None
+        )
+        if record_context:
+            answer_text = answer if isinstance(answer, str) else None
+            self.context.record(resolved, answer_entity=None, answer_text=answer_text)
+        return IntentAnswer(intent=resolved, answer=answer, result=result,
+                            route_column=route.answer_column)
+
+    def answer_follow_up(self, utterance: str) -> IntentAnswer:
+        """Answer a "How about X?" follow-up using the conversation context."""
+        intent = self.context.resolve_follow_up(utterance)
+        if intent is None:
+            raise IntentError(f"cannot interpret follow-up {utterance!r} without context")
+        return self.answer_intent(intent)
+
+    # -------------------------------------------------------------- #
+    # operations
+    # -------------------------------------------------------------- #
+    def latency_p95_ms(self) -> float:
+        """95th-percentile query latency in milliseconds."""
+        return self.executor.latency_percentile(95.0)
+
+    def stats(self) -> dict[str, object]:
+        """Operational statistics of the live engine."""
+        return {
+            "documents": len(self.index),
+            "shard_sizes": self.index.kv.shard_sizes(),
+            "events_processed": self.construction.stats.events_processed,
+            "references_resolved": self.construction.stats.references_resolved,
+            "references_unresolved": self.construction.stats.references_unresolved,
+            "queries": len(self.executor.latencies_ms),
+            "cache_hits": self.executor.cache.hits,
+            "p95_latency_ms": self.latency_p95_ms(),
+            "quarantined_facts": len(self.curation.pending()),
+        }

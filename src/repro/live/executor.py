@@ -1,0 +1,252 @@
+"""KGQ physical-plan execution over the live index (§4.2).
+
+The executor evaluates plans produced by :class:`repro.live.planner.QueryPlanner`
+against the :class:`repro.live.index.LiveIndex`: index seeds, traversal-based
+filters, projection over multi-hop paths, limits, and a small result cache.
+Query latencies are recorded so benchmarks can report the p95 figure the paper
+quotes for the production deployment.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import KGQPlanError
+from repro.live.index import LiveEntityDocument, LiveIndex
+from repro.live.planner import IndexLookup, PhysicalPlan, TypeScan
+from repro.ml.similarity import normalize_string
+
+
+@dataclass
+class QueryResultRow:
+    """One result row: the matched entity plus its projected values."""
+
+    entity_id: str
+    values: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class QueryResult:
+    """Execution output plus timing metadata."""
+
+    rows: list[QueryResultRow] = field(default_factory=list)
+    latency_ms: float = 0.0
+    from_cache: bool = False
+    candidates_examined: int = 0
+
+    def first_value(self, column: str | None = None) -> object | None:
+        """Convenience: the first projected value of the first row."""
+        if not self.rows:
+            return None
+        row = self.rows[0]
+        if column is not None:
+            return row.values.get(column)
+        return next(iter(row.values.values()), None)
+
+
+class QueryCache:
+    """Tiny LRU cache keyed by rendered query text."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[str, list[QueryResultRow]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> list[QueryResultRow] | None:
+        """Cached rows for *key*, refreshing recency."""
+        rows = self._entries.get(key)
+        if rows is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return rows
+
+    def put(self, key: str, rows: list[QueryResultRow]) -> None:
+        """Insert rows for *key*, evicting the least-recently-used entry."""
+        self._entries[key] = rows
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop every cached result (called after live updates)."""
+        self._entries.clear()
+
+
+class QueryExecutor:
+    """Execute physical plans against the live index."""
+
+    def __init__(self, index: LiveIndex, cache: QueryCache | None = None) -> None:
+        self.index = index
+        self.cache = cache or QueryCache()
+        self.latencies_ms: list[float] = []
+
+    # -------------------------------------------------------------- #
+    # execution
+    # -------------------------------------------------------------- #
+    def execute(self, plan: PhysicalPlan, use_cache: bool = True) -> QueryResult:
+        """Run *plan* and return its result rows with timing."""
+        cache_key = plan.query.render()
+        started = time.perf_counter()
+        if use_cache:
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                latency = (time.perf_counter() - started) * 1000.0
+                self.latencies_ms.append(latency)
+                return QueryResult(rows=list(cached), latency_ms=latency, from_cache=True)
+
+        candidates = self._seed_candidates(plan)
+        examined = len(candidates)
+        survivors = []
+        for document in candidates:
+            if document.entity_type and plan.query.entity_type and (
+                document.entity_type != plan.query.entity_type
+            ):
+                continue
+            if all(self._evaluate_condition(document, f.condition) for f in plan.filters):
+                survivors.append(document)
+                if plan.limit is not None and len(survivors) >= plan.limit.limit and not plan.filters:
+                    break
+
+        if plan.limit is not None:
+            survivors = survivors[: plan.limit.limit]
+        rows = [self._project(document, plan) for document in survivors]
+        latency = (time.perf_counter() - started) * 1000.0
+        self.latencies_ms.append(latency)
+        if use_cache:
+            self.cache.put(cache_key, rows)
+        return QueryResult(
+            rows=rows, latency_ms=latency, from_cache=False, candidates_examined=examined
+        )
+
+    def invalidate_cache(self) -> None:
+        """Invalidate cached results after live-index updates."""
+        self.cache.invalidate()
+
+    # -------------------------------------------------------------- #
+    # latency statistics
+    # -------------------------------------------------------------- #
+    def latency_percentile(self, percentile: float = 95.0) -> float:
+        """The given latency percentile (ms) over all executed queries."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(round(percentile / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    # -------------------------------------------------------------- #
+    # operator implementations
+    # -------------------------------------------------------------- #
+    def _seed_candidates(self, plan: PhysicalPlan) -> list[LiveEntityDocument]:
+        seed = plan.seed
+        if isinstance(seed, TypeScan):
+            return self.index.kv.by_type(seed.entity_type)
+        if isinstance(seed, IndexLookup):
+            predicate = seed.predicate_path[0]
+            if predicate in ("name", "alias"):
+                entity_ids = self.index.inverted.lookup_name(str(seed.value))
+            else:
+                entity_ids = self.index.inverted.lookup_value(predicate, seed.value)
+            documents = [self.index.get(entity_id) for entity_id in sorted(entity_ids)]
+            return [document for document in documents if document is not None]
+        raise KGQPlanError(f"unknown seed operator {seed!r}")
+
+    def _evaluate_condition(self, document: LiveEntityDocument, condition) -> bool:
+        values = self._walk_path(document, condition.path)
+        operator = condition.operator
+        target = condition.value
+        for value in values:
+            if operator == "=" and self._equal(value, target):
+                return True
+            if operator == "!=" and not self._equal(value, target):
+                return True
+            if operator == "CONTAINS" and normalize_string(target) in normalize_string(value):
+                return True
+            if operator in ("<", ">"):
+                try:
+                    left, right = float(value), float(target)  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    continue
+                if operator == "<" and left < right:
+                    return True
+                if operator == ">" and left > right:
+                    return True
+        return False
+
+    def _project(self, document: LiveEntityDocument, plan: PhysicalPlan) -> QueryResultRow:
+        row = QueryResultRow(entity_id=document.entity_id)
+        returns = plan.project.returns
+        if not returns or any(len(path) == 0 for path in returns):
+            row.values["name"] = document.name
+            for predicate, values in document.facts.items():
+                row.values[predicate] = values[0] if len(values) == 1 else list(values)
+            for predicate, reference in document.references.items():
+                row.values.setdefault(predicate, self._display(reference))
+            return row
+        for path in returns:
+            values = self._walk_path(document, path, resolve_names=True)
+            column = ".".join(path)
+            if not values:
+                row.values[column] = None
+            elif len(values) == 1:
+                row.values[column] = values[0]
+            else:
+                row.values[column] = values
+        return row
+
+    # -------------------------------------------------------------- #
+    # path traversal
+    # -------------------------------------------------------------- #
+    def _walk_path(
+        self, document: LiveEntityDocument, path: tuple[str, ...], resolve_names: bool = False
+    ) -> list[object]:
+        current: list[object] = [document]
+        for depth, predicate in enumerate(path):
+            next_values: list[object] = []
+            for item in current:
+                doc = self._as_document(item)
+                if doc is None:
+                    # An unresolved reference is a raw text mention; treat the
+                    # text itself as its display name so queries still work.
+                    if predicate == "name" and isinstance(item, str):
+                        next_values.append(item)
+                    continue
+                if predicate == "name" and doc.name:
+                    next_values.append(doc.name)
+                    continue
+                next_values.extend(doc.values(predicate))
+            current = next_values
+            if not current:
+                return []
+        if resolve_names:
+            return [self._display(value) for value in current]
+        return current
+
+    def _as_document(self, value: object) -> LiveEntityDocument | None:
+        if isinstance(value, LiveEntityDocument):
+            return value
+        if isinstance(value, str):
+            return self.index.get(value)
+        return None
+
+    def _display(self, value: object) -> object:
+        if isinstance(value, str):
+            document = self.index.get(value)
+            if document is not None and document.name:
+                return document.name
+        return value
+
+    def _equal(self, value: object, target: object) -> bool:
+        if isinstance(value, str) or isinstance(target, str):
+            if normalize_string(value) == normalize_string(target):
+                return True
+            # An unresolved reference may still match by name.
+            document = self._as_document(value) if isinstance(value, str) else None
+            if document is not None:
+                return normalize_string(document.name) == normalize_string(target)
+            return False
+        return value == target

@@ -1,0 +1,234 @@
+"""Live KG indexes: sharded key-value store plus inverted graph index (§4.1).
+
+The live KG is indexed with two structures optimized for low-latency retrieval
+under high concurrency: a key-value store holding the full document of every
+live (and stable-view) entity, and an inverted index from names / literal
+values to entity identifiers for entity search.  Both are sharded by key hash
+and can be replicated; replication here is a read-only copy mechanism used to
+model scale-out and failover in tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import LiveGraphError
+from repro.ml.similarity import normalize_string, tokens
+
+
+@dataclass
+class LiveEntityDocument:
+    """The serving document of one entity in the live KG."""
+
+    entity_id: str
+    entity_type: str = ""
+    name: str = ""
+    facts: dict[str, list[object]] = field(default_factory=dict)
+    references: dict[str, str] = field(default_factory=dict)   # predicate -> entity id
+    source_id: str = ""
+    timestamp: int = 0
+    is_live: bool = False       # True for streaming entities, False for stable-view entities
+
+    def value(self, predicate: str) -> object | None:
+        """First value of *predicate* (falls back to references)."""
+        values = self.facts.get(predicate)
+        if values:
+            return values[0]
+        return self.references.get(predicate)
+
+    def values(self, predicate: str) -> list[object]:
+        """All values of *predicate*, including a reference if present."""
+        values = list(self.facts.get(predicate, []))
+        if predicate in self.references:
+            values.append(self.references[predicate])
+        return values
+
+    def merge_update(self, other: "LiveEntityDocument") -> None:
+        """Apply a newer document for the same entity (streaming upsert)."""
+        if other.timestamp < self.timestamp:
+            return
+        self.name = other.name or self.name
+        self.entity_type = other.entity_type or self.entity_type
+        for predicate, values in other.facts.items():
+            self.facts[predicate] = list(values)
+        self.references.update(other.references)
+        self.source_id = other.source_id or self.source_id
+        self.timestamp = other.timestamp
+        self.is_live = self.is_live or other.is_live
+
+
+class GraphKVStore:
+    """Sharded key-value store of live entity documents."""
+
+    def __init__(self, num_shards: int = 4) -> None:
+        if num_shards <= 0:
+            raise LiveGraphError("the KV store needs at least one shard")
+        self.num_shards = num_shards
+        self._shards: list[dict[str, LiveEntityDocument]] = [dict() for _ in range(num_shards)]
+        self.reads = 0
+        self.writes = 0
+
+    def _shard_of(self, key: str) -> dict[str, LiveEntityDocument]:
+        return self._shards[hash(key) % self.num_shards]
+
+    def put(self, document: LiveEntityDocument) -> None:
+        """Insert or merge-update a document."""
+        shard = self._shard_of(document.entity_id)
+        existing = shard.get(document.entity_id)
+        if existing is None:
+            shard[document.entity_id] = document
+        else:
+            existing.merge_update(document)
+        self.writes += 1
+
+    def get(self, entity_id: str) -> LiveEntityDocument | None:
+        """Point lookup by entity id."""
+        self.reads += 1
+        return self._shard_of(entity_id).get(entity_id)
+
+    def delete(self, entity_id: str) -> bool:
+        """Remove a document; returns ``True`` when it existed."""
+        return self._shard_of(entity_id).pop(entity_id, None) is not None
+
+    def by_type(self, entity_type: str) -> list[LiveEntityDocument]:
+        """All documents of one entity type (scatter-gather over shards)."""
+        documents = []
+        for shard in self._shards:
+            documents.extend(
+                doc for doc in shard.values() if doc.entity_type == entity_type
+            )
+        self.reads += 1
+        return sorted(documents, key=lambda doc: doc.entity_id)
+
+    def shard_sizes(self) -> list[int]:
+        """Document count per shard (used to verify sharding balance)."""
+        return [len(shard) for shard in self._shards]
+
+    def replicate(self) -> "GraphKVStore":
+        """Produce a read replica with the same contents."""
+        replica = GraphKVStore(self.num_shards)
+        for document in self:
+            replica.put(
+                LiveEntityDocument(
+                    entity_id=document.entity_id,
+                    entity_type=document.entity_type,
+                    name=document.name,
+                    facts={k: list(v) for k, v in document.facts.items()},
+                    references=dict(document.references),
+                    source_id=document.source_id,
+                    timestamp=document.timestamp,
+                    is_live=document.is_live,
+                )
+            )
+        return replica
+
+    def __iter__(self) -> Iterator[LiveEntityDocument]:
+        for shard in self._shards:
+            yield from shard.values()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, entity_id: object) -> bool:
+        return isinstance(entity_id, str) and self.get(entity_id) is not None
+
+
+class InvertedGraphIndex:
+    """Inverted index from tokens of names / literal values to entity ids."""
+
+    def __init__(self) -> None:
+        self._name_postings: dict[str, set[str]] = defaultdict(set)
+        self._exact_names: dict[str, set[str]] = defaultdict(set)
+        self._value_postings: dict[tuple[str, str], set[str]] = defaultdict(set)
+        self.lookups = 0
+
+    def index_document(self, document: LiveEntityDocument) -> None:
+        """Index (or re-index) one entity document."""
+        self.remove(document.entity_id)
+        names = [document.name, *[str(v) for v in document.facts.get("alias", [])]]
+        for name in names:
+            normalized = normalize_string(name)
+            if not normalized:
+                continue
+            self._exact_names[normalized].add(document.entity_id)
+            for token in tokens(normalized):
+                self._name_postings[token].add(document.entity_id)
+        for predicate, values in document.facts.items():
+            for value in values:
+                key = (predicate, normalize_string(value))
+                self._value_postings[key].add(document.entity_id)
+        for predicate, reference in document.references.items():
+            self._value_postings[(predicate, normalize_string(reference))].add(document.entity_id)
+
+    def remove(self, entity_id: str) -> None:
+        """Drop an entity from all postings."""
+        for postings in (self._name_postings, self._exact_names):
+            for key in list(postings):
+                postings[key].discard(entity_id)
+                if not postings[key]:
+                    del postings[key]
+        for key in list(self._value_postings):
+            self._value_postings[key].discard(entity_id)
+            if not self._value_postings[key]:
+                del self._value_postings[key]
+
+    def lookup_name(self, name: str) -> set[str]:
+        """Entity ids whose name matches *name* exactly (normalized)."""
+        self.lookups += 1
+        return set(self._exact_names.get(normalize_string(name), set()))
+
+    def search_name_tokens(self, query: str) -> set[str]:
+        """Entity ids containing every token of *query* in their names."""
+        self.lookups += 1
+        query_tokens = tokens(query)
+        if not query_tokens:
+            return set()
+        results: set[str] | None = None
+        for token in query_tokens:
+            posting = self._name_postings.get(token, set())
+            results = posting if results is None else results & posting
+            if not results:
+                return set()
+        return set(results or set())
+
+    def lookup_value(self, predicate: str, value: object) -> set[str]:
+        """Entity ids with ``predicate = value`` (normalized string match)."""
+        self.lookups += 1
+        return set(self._value_postings.get((predicate, normalize_string(value)), set()))
+
+
+class LiveIndex:
+    """The KV store and inverted index maintained together."""
+
+    def __init__(self, num_shards: int = 4) -> None:
+        self.kv = GraphKVStore(num_shards)
+        self.inverted = InvertedGraphIndex()
+
+    def upsert(self, document: LiveEntityDocument) -> None:
+        """Insert or update a document in both structures."""
+        self.kv.put(document)
+        merged = self.kv.get(document.entity_id)
+        if merged is not None:
+            self.inverted.index_document(merged)
+
+    def upsert_many(self, documents: Iterable[LiveEntityDocument]) -> int:
+        """Upsert several documents; returns how many were written."""
+        count = 0
+        for document in documents:
+            self.upsert(document)
+            count += 1
+        return count
+
+    def delete(self, entity_id: str) -> bool:
+        """Delete a document from both structures."""
+        self.inverted.remove(entity_id)
+        return self.kv.delete(entity_id)
+
+    def get(self, entity_id: str) -> LiveEntityDocument | None:
+        """Point lookup by entity id."""
+        return self.kv.get(entity_id)
+
+    def __len__(self) -> int:
+        return len(self.kv)

@@ -1,0 +1,198 @@
+"""Query intent handling: route annotated NL intents to KGQ queries (§4.2).
+
+An intent is a high-level operation with entity arguments, e.g.
+``HeadOfState(Canada)``.  The same intent may need different graph queries
+depending on the *semantics of the arguments*: the leader of a country is its
+``head_of_state`` while the leader of a city is its ``mayor``.  The intent
+handler inspects the KG types of the arguments and picks the meaningful
+execution — exactly the "LeaderOf(Canada)" vs "LeaderOf(Chicago)" example in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import IntentError
+from repro.live.index import LiveIndex
+from repro.live.kgq import Condition, Query
+
+
+@dataclass
+class Intent:
+    """A structured query intent with its (textual) arguments."""
+
+    name: str
+    arguments: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        """Render as ``Name(arg1, arg2)``."""
+        return f"{self.name}({', '.join(self.arguments)})"
+
+
+@dataclass
+class IntentRoute:
+    """One candidate execution of an intent for a specific argument type."""
+
+    argument_type: str                   # entity type the argument must have
+    build_query: Callable[[str], Query]  # argument value -> KGQ query
+    answer_column: str = ""              # projected column holding the answer
+
+
+class IntentHandler:
+    """Route intents to KGQ queries based on argument semantics."""
+
+    def __init__(self, index: LiveIndex) -> None:
+        self.index = index
+        self._routes: dict[str, list[IntentRoute]] = {}
+
+    def register(self, intent_name: str, route: IntentRoute) -> None:
+        """Register a candidate route for *intent_name*."""
+        self._routes.setdefault(intent_name.lower(), []).append(route)
+
+    def routes_for(self, intent_name: str) -> list[IntentRoute]:
+        """Candidate routes registered for *intent_name*."""
+        return list(self._routes.get(intent_name.lower(), []))
+
+    # -------------------------------------------------------------- #
+    # routing
+    # -------------------------------------------------------------- #
+    def route(self, intent: Intent) -> tuple[Query, IntentRoute]:
+        """Pick the route whose argument-type requirement the KG satisfies.
+
+        The argument entity is looked up by name in the live index; the route
+        whose ``argument_type`` matches the entity's type wins.  If no route
+        matches, an :class:`IntentError` explains which types were considered.
+        """
+        routes = self.routes_for(intent.name)
+        if not routes:
+            raise IntentError(f"no routes registered for intent {intent.name!r}")
+        if not intent.arguments:
+            raise IntentError(f"intent {intent.render()} has no argument to route on")
+        argument = intent.arguments[0]
+        argument_types = self._argument_types(argument)
+        for route in routes:
+            if route.argument_type in argument_types:
+                return route.build_query(argument), route
+        # Fall back to the first route when the argument is unknown to the KG;
+        # execution will simply return no rows.
+        considered = ", ".join(sorted(argument_types)) or "<unknown>"
+        raise IntentError(
+            f"intent {intent.render()}: no route matches argument types [{considered}]"
+        )
+
+    def _argument_types(self, argument: str) -> set[str]:
+        entity_ids = self.index.inverted.lookup_name(argument)
+        if not entity_ids:
+            entity_ids = self.index.inverted.search_name_tokens(argument)
+        types: set[str] = set()
+        for entity_id in entity_ids:
+            document = self.index.get(entity_id)
+            if document is not None and document.entity_type:
+                types.add(document.entity_type)
+        return types
+
+
+def default_intent_handler(index: LiveIndex) -> IntentHandler:
+    """Intent handler with the routes used by the QA example and benchmarks."""
+    handler = IntentHandler(index)
+
+    handler.register(
+        "LeaderOf",
+        IntentRoute(
+            argument_type="country",
+            build_query=lambda name: Query(
+                entity_type="country",
+                conditions=[Condition(("name",), "=", name)],
+                returns=[("head_of_state", "name")],
+            ),
+            answer_column="head_of_state.name",
+        ),
+    )
+    handler.register(
+        "LeaderOf",
+        IntentRoute(
+            argument_type="city",
+            build_query=lambda name: Query(
+                entity_type="city",
+                conditions=[Condition(("name",), "=", name)],
+                returns=[("mayor", "name")],
+            ),
+            answer_column="mayor.name",
+        ),
+    )
+    handler.register(
+        "SpouseOf",
+        IntentRoute(
+            argument_type="person",
+            build_query=lambda name: Query(
+                entity_type="person",
+                conditions=[Condition(("name",), "=", name)],
+                returns=[("spouse", "name")],
+            ),
+            answer_column="spouse.name",
+        ),
+    )
+    for person_type in ("music_artist", "actor", "athlete"):
+        handler.register(
+            "SpouseOf",
+            IntentRoute(
+                argument_type=person_type,
+                build_query=lambda name, entity_type=person_type: Query(
+                    entity_type=entity_type,
+                    conditions=[Condition(("name",), "=", name)],
+                    returns=[("spouse", "name")],
+                ),
+                answer_column="spouse.name",
+            ),
+        )
+        handler.register(
+            "Birthplace",
+            IntentRoute(
+                argument_type=person_type,
+                build_query=lambda name, entity_type=person_type: Query(
+                    entity_type=entity_type,
+                    conditions=[Condition(("name",), "=", name)],
+                    returns=[("birth_place", "name")],
+                ),
+                answer_column="birth_place.name",
+            ),
+        )
+    handler.register(
+        "Birthplace",
+        IntentRoute(
+            argument_type="person",
+            build_query=lambda name: Query(
+                entity_type="person",
+                conditions=[Condition(("name",), "=", name)],
+                returns=[("birth_place", "name")],
+            ),
+            answer_column="birth_place.name",
+        ),
+    )
+    handler.register(
+        "GameScore",
+        IntentRoute(
+            argument_type="sports_team",
+            build_query=lambda team: Query(
+                entity_type="sports_game",
+                conditions=[Condition(("home_team", "name"), "CONTAINS", team)],
+                returns=[("name",), ("home_score",), ("away_score",), ("game_status",)],
+            ),
+            answer_column="name",
+        ),
+    )
+    handler.register(
+        "AgeOf",
+        IntentRoute(
+            argument_type="person",
+            build_query=lambda name: Query(
+                entity_type="person",
+                conditions=[Condition(("name",), "=", name)],
+                returns=[("birth_date",)],
+            ),
+            answer_column="birth_date",
+        ),
+    )
+    return handler

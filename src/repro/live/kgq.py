@@ -1,0 +1,340 @@
+"""KGQ: the live graph query language (Section 4.2).
+
+KGQ is a deliberately restricted graph query language: expressive enough to
+capture the semantics of natural-language questions arriving from the search
+front end (entity search with traversal constraints, property retrieval over
+multi-hop paths), but bounded so that every query compiles to a plan with
+predictable cost.  The language also supports *virtual operators*: named,
+reusable expansions registered by clients that encapsulate complex expressions.
+
+Grammar (informally)::
+
+    query      := match_query | call_query
+    match_query:= 'MATCH' type_name
+                  ('WHERE' condition ('AND' condition)*)?
+                  ('RETURN' return_item (',' return_item)*)?
+                  ('LIMIT' integer)?
+    call_query := 'CALL' name '(' argument (',' argument)* ')'
+    condition  := path operator literal
+    path       := identifier ('.' identifier)*
+    operator   := '=' | '!=' | '<' | '>' | 'CONTAINS'
+    return_item:= path | '*'
+    literal    := "double-quoted string" | number | bareword
+
+Examples::
+
+    MATCH country WHERE name = "Canada" RETURN head_of_state.name
+    MATCH sports_game WHERE home_team.name CONTAINS "Wolves" RETURN home_score, away_score
+    CALL HeadOfState("Canada")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import KGQSyntaxError
+
+KEYWORDS = {"MATCH", "WHERE", "AND", "RETURN", "LIMIT", "CALL", "CONTAINS"}
+OPERATORS = {"=", "!=", "<", ">", "CONTAINS"}
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<string>"[^"]*")
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>!=|=|<|>)
+  | (?P<dot>\.)
+  | (?P<comma>,)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<star>\*)
+  | (?P<space>\s+)
+""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a KGQ query string."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise KGQSyntaxError(f"unexpected character {text[position]!r} at position {position}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "space":
+            tokens.append(Token(kind=kind, value=value, position=position))
+        position = match.end()
+    return tokens
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One traversal constraint: ``path operator value``."""
+
+    path: tuple[str, ...]
+    operator: str
+    value: object
+
+    def render(self) -> str:
+        """Render back to KGQ text."""
+        value = f'"{self.value}"' if isinstance(self.value, str) else str(self.value)
+        return f"{'.'.join(self.path)} {self.operator} {value}"
+
+
+@dataclass
+class Query:
+    """Parsed MATCH query."""
+
+    entity_type: str
+    conditions: list[Condition] = field(default_factory=list)
+    returns: list[tuple[str, ...]] = field(default_factory=list)   # () means '*'
+    limit: int | None = None
+
+    def render(self) -> str:
+        """Render back to KGQ text (useful for caching and logging)."""
+        parts = [f"MATCH {self.entity_type}"]
+        if self.conditions:
+            parts.append("WHERE " + " AND ".join(c.render() for c in self.conditions))
+        if self.returns:
+            rendered = ", ".join("*" if not path else ".".join(path) for path in self.returns)
+            parts.append(f"RETURN {rendered}")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class CallQuery:
+    """Parsed CALL of a virtual operator."""
+
+    operator: str
+    arguments: tuple[object, ...]
+
+
+class Parser:
+    """Recursive-descent parser for KGQ."""
+
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self._tokens = list(tokens)
+        self._index = 0
+
+    # ---- helpers -------------------------------------------------- #
+    def _peek(self) -> Token | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise KGQSyntaxError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._next()
+        if token.kind != "ident" or token.value.upper() != keyword:
+            raise KGQSyntaxError(f"expected {keyword}, got {token.value!r}")
+        return token
+
+    def _is_keyword(self, token: Token | None, keyword: str) -> bool:
+        return token is not None and token.kind == "ident" and token.value.upper() == keyword
+
+    # ---- grammar -------------------------------------------------- #
+    def parse(self) -> Query | CallQuery:
+        """Parse the token stream into a query object."""
+        token = self._peek()
+        if token is None:
+            raise KGQSyntaxError("empty query")
+        if self._is_keyword(token, "CALL"):
+            return self._parse_call()
+        return self._parse_match()
+
+    def _parse_call(self) -> CallQuery:
+        self._expect_keyword("CALL")
+        name_token = self._next()
+        if name_token.kind != "ident":
+            raise KGQSyntaxError(f"expected operator name, got {name_token.value!r}")
+        open_token = self._next()
+        if open_token.kind != "lparen":
+            raise KGQSyntaxError("expected '(' after virtual operator name")
+        arguments: list[object] = []
+        while True:
+            token = self._next()
+            if token.kind == "rparen":
+                break
+            if token.kind == "comma":
+                continue
+            arguments.append(self._literal_value(token))
+        self._assert_consumed()
+        return CallQuery(operator=name_token.value, arguments=tuple(arguments))
+
+    def _parse_match(self) -> Query:
+        self._expect_keyword("MATCH")
+        type_token = self._next()
+        if type_token.kind != "ident":
+            raise KGQSyntaxError(f"expected entity type, got {type_token.value!r}")
+        query = Query(entity_type=type_token.value)
+
+        token = self._peek()
+        if self._is_keyword(token, "WHERE"):
+            self._next()
+            query.conditions.append(self._parse_condition())
+            while self._is_keyword(self._peek(), "AND"):
+                self._next()
+                query.conditions.append(self._parse_condition())
+
+        if self._is_keyword(self._peek(), "RETURN"):
+            self._next()
+            query.returns.append(self._parse_return_item())
+            while self._peek() is not None and self._peek().kind == "comma":
+                self._next()
+                query.returns.append(self._parse_return_item())
+
+        if self._is_keyword(self._peek(), "LIMIT"):
+            self._next()
+            number = self._next()
+            if number.kind != "number":
+                raise KGQSyntaxError(f"expected a number after LIMIT, got {number.value!r}")
+            query.limit = int(float(number.value))
+
+        self._assert_consumed()
+        return query
+
+    def _parse_condition(self) -> Condition:
+        path = self._parse_path()
+        op_token = self._next()
+        if op_token.kind == "op":
+            operator = op_token.value
+        elif self._is_keyword(op_token, "CONTAINS"):
+            operator = "CONTAINS"
+        else:
+            raise KGQSyntaxError(f"expected an operator, got {op_token.value!r}")
+        value_token = self._next()
+        return Condition(path=path, operator=operator, value=self._literal_value(value_token))
+
+    def _parse_return_item(self) -> tuple[str, ...]:
+        token = self._peek()
+        if token is not None and token.kind == "star":
+            self._next()
+            return ()
+        return self._parse_path()
+
+    def _parse_path(self) -> tuple[str, ...]:
+        token = self._next()
+        if token.kind != "ident":
+            raise KGQSyntaxError(f"expected a predicate, got {token.value!r}")
+        segments = [token.value]
+        while self._peek() is not None and self._peek().kind == "dot":
+            self._next()
+            segment = self._next()
+            if segment.kind != "ident":
+                raise KGQSyntaxError(f"expected a predicate after '.', got {segment.value!r}")
+            segments.append(segment.value)
+        return tuple(segments)
+
+    def _literal_value(self, token: Token) -> object:
+        if token.kind == "string":
+            return token.value[1:-1]
+        if token.kind == "number":
+            number = float(token.value)
+            return int(number) if number.is_integer() else number
+        if token.kind == "ident":
+            return token.value
+        raise KGQSyntaxError(f"expected a literal, got {token.value!r}")
+
+    def _assert_consumed(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise KGQSyntaxError(f"unexpected trailing input at {token.value!r}")
+
+
+def parse(text: str) -> Query | CallQuery:
+    """Parse a KGQ query string."""
+    return Parser(tokenize(text)).parse()
+
+
+VirtualOperator = Callable[..., Query]
+
+
+class VirtualOperatorRegistry:
+    """Registry of reusable virtual operators (KGQ extensibility)."""
+
+    def __init__(self) -> None:
+        self._operators: dict[str, VirtualOperator] = {}
+
+    def register(self, name: str, expansion: VirtualOperator) -> None:
+        """Register *expansion* under *name* (case-insensitive)."""
+        self._operators[name.lower()] = expansion
+
+    def expand(self, call: CallQuery) -> Query:
+        """Expand a CALL query into the underlying MATCH query."""
+        expansion = self._operators.get(call.operator.lower())
+        if expansion is None:
+            raise KGQSyntaxError(f"unknown virtual operator {call.operator!r}")
+        return expansion(*call.arguments)
+
+    def names(self) -> list[str]:
+        """Registered operator names."""
+        return sorted(self._operators)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._operators
+
+
+def default_virtual_operators() -> VirtualOperatorRegistry:
+    """Virtual operators used by the QA examples and benchmarks."""
+    registry = VirtualOperatorRegistry()
+    registry.register(
+        "HeadOfState",
+        lambda country: Query(
+            entity_type="country",
+            conditions=[Condition(("name",), "=", country)],
+            returns=[("head_of_state", "name")],
+        ),
+    )
+    registry.register(
+        "MayorOf",
+        lambda city: Query(
+            entity_type="city",
+            conditions=[Condition(("name",), "=", city)],
+            returns=[("mayor", "name")],
+        ),
+    )
+    registry.register(
+        "SpouseOf",
+        lambda person: Query(
+            entity_type="person",
+            conditions=[Condition(("name",), "=", person)],
+            returns=[("spouse", "name")],
+        ),
+    )
+    registry.register(
+        "GameScore",
+        lambda team: Query(
+            entity_type="sports_game",
+            conditions=[Condition(("home_team", "name"), "CONTAINS", team)],
+            returns=[("name",), ("home_score",), ("away_score",), ("game_status",)],
+        ),
+    )
+    registry.register(
+        "StockPrice",
+        lambda ticker: Query(
+            entity_type="stock",
+            conditions=[Condition(("ticker",), "=", ticker)],
+            returns=[("stock_price",)],
+        ),
+    )
+    return registry

@@ -1,0 +1,145 @@
+"""KGQ query compilation: logical query → physical execution plan (§4.2).
+
+The planner applies the two execution optimizations the paper calls out:
+
+* **operator push-down** — equality conditions on names or single-hop literal
+  predicates are pushed into the inverted graph index, so execution starts
+  from a small candidate set instead of a type scan;
+* **bounded traversal** — multi-hop paths compile into explicit traversal
+  operators over the KV store, so plan cost is proportional to the candidate
+  set times the path length (KGQ's restricted expressiveness guarantees this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KGQPlanError
+from repro.live.kgq import CallQuery, Condition, Query, VirtualOperatorRegistry
+
+
+@dataclass(frozen=True)
+class IndexLookup:
+    """Seed the candidate set from the inverted index (pushed-down condition)."""
+
+    predicate_path: tuple[str, ...]
+    operator: str
+    value: object
+
+    def describe(self) -> str:
+        """Human-readable operator description (used in EXPLAIN output)."""
+        return f"IndexLookup({'.'.join(self.predicate_path)} {self.operator} {self.value!r})"
+
+
+@dataclass(frozen=True)
+class TypeScan:
+    """Seed the candidate set with every live document of the query's type."""
+
+    entity_type: str
+
+    def describe(self) -> str:
+        """Human-readable operator description."""
+        return f"TypeScan({self.entity_type})"
+
+
+@dataclass(frozen=True)
+class FilterOp:
+    """Evaluate one traversal condition against each candidate document."""
+
+    condition: Condition
+
+    def describe(self) -> str:
+        """Human-readable operator description."""
+        return f"Filter({self.condition.render()})"
+
+
+@dataclass(frozen=True)
+class ProjectOp:
+    """Project the requested return paths from each surviving document."""
+
+    returns: tuple[tuple[str, ...], ...]
+
+    def describe(self) -> str:
+        """Human-readable operator description."""
+        rendered = ", ".join("*" if not path else ".".join(path) for path in self.returns) or "*"
+        return f"Project({rendered})"
+
+
+@dataclass(frozen=True)
+class LimitOp:
+    """Stop after the first *n* results."""
+
+    limit: int
+
+    def describe(self) -> str:
+        """Human-readable operator description."""
+        return f"Limit({self.limit})"
+
+
+@dataclass
+class PhysicalPlan:
+    """Ordered operator list produced by the planner."""
+
+    query: Query
+    seed: IndexLookup | TypeScan = None  # type: ignore[assignment]
+    filters: list[FilterOp] = field(default_factory=list)
+    project: ProjectOp = ProjectOp(())
+    limit: LimitOp | None = None
+
+    def explain(self) -> list[str]:
+        """EXPLAIN-style rendering of the plan."""
+        steps = [self.seed.describe()]
+        steps.extend(op.describe() for op in self.filters)
+        steps.append(self.project.describe())
+        if self.limit is not None:
+            steps.append(self.limit.describe())
+        return steps
+
+
+class QueryPlanner:
+    """Compile parsed KGQ queries into physical plans."""
+
+    #: Conditions on these single-hop predicates can seed from the name index.
+    NAME_PREDICATES = ("name", "alias")
+
+    def __init__(self, virtual_operators: VirtualOperatorRegistry | None = None) -> None:
+        self.virtual_operators = virtual_operators or VirtualOperatorRegistry()
+
+    def plan(self, query: Query | CallQuery) -> PhysicalPlan:
+        """Compile *query* (expanding virtual operators first)."""
+        if isinstance(query, CallQuery):
+            query = self.virtual_operators.expand(query)
+        if not query.entity_type:
+            raise KGQPlanError("a MATCH query needs an entity type")
+
+        seed, remaining = self._choose_seed(query)
+        plan = PhysicalPlan(
+            query=query,
+            seed=seed,
+            filters=[FilterOp(condition) for condition in remaining],
+            project=ProjectOp(tuple(query.returns)),
+            limit=LimitOp(query.limit) if query.limit is not None else None,
+        )
+        return plan
+
+    def _choose_seed(
+        self, query: Query
+    ) -> tuple[IndexLookup | TypeScan, list[Condition]]:
+        """Pick the most selective pushable condition as the index seed."""
+        pushable_index = None
+        for index, condition in enumerate(query.conditions):
+            if condition.operator != "=":
+                continue
+            if len(condition.path) == 1:
+                pushable_index = index
+                # Name equality is the most selective seed we have; stop looking.
+                if condition.path[0] in self.NAME_PREDICATES:
+                    break
+        if pushable_index is None:
+            return TypeScan(query.entity_type), list(query.conditions)
+        chosen = query.conditions[pushable_index]
+        remaining = [c for i, c in enumerate(query.conditions) if i != pushable_index]
+        return (
+            IndexLookup(predicate_path=chosen.path, operator=chosen.operator, value=chosen.value),
+            remaining,
+        )

@@ -1,0 +1,46 @@
+"""Knowledge-graph embeddings: models, trainers, and downstream tasks."""
+
+from repro.ml.embeddings.models import (
+    DistMult,
+    EmbeddingConfig,
+    KGEmbeddingModel,
+    TransE,
+    make_model,
+)
+from repro.ml.embeddings.partitioning import PartitionBufferTrainer, PartitionConfig
+from repro.ml.embeddings.tasks import (
+    EmbeddingTasks,
+    ImputedFact,
+    RankedFact,
+    VerificationFinding,
+)
+from repro.ml.embeddings.training import (
+    InMemoryTrainer,
+    KGEdgeList,
+    TrainerConfig,
+    TrainingReport,
+    evaluate_link_prediction,
+    extract_edges,
+    sample_negatives,
+)
+
+__all__ = [
+    "DistMult",
+    "EmbeddingConfig",
+    "EmbeddingTasks",
+    "ImputedFact",
+    "InMemoryTrainer",
+    "KGEdgeList",
+    "KGEmbeddingModel",
+    "PartitionBufferTrainer",
+    "PartitionConfig",
+    "RankedFact",
+    "TrainerConfig",
+    "TrainingReport",
+    "TransE",
+    "VerificationFinding",
+    "evaluate_link_prediction",
+    "extract_edges",
+    "make_model",
+    "sample_negatives",
+]

@@ -1,0 +1,180 @@
+"""Embedding-backed tasks: fact ranking, fact verification, missing-fact imputation.
+
+Section 5.3: Saga unifies three tasks on top of trained KG embeddings by
+comparing the predicted object vector ``f(theta_s, theta_p)`` against the
+embedding of the observed (or candidate) object:
+
+* **fact ranking** — rank the multiple objects of a high-cardinality predicate
+  (e.g. several occupations) by their plausibility so the dominant one can be
+  surfaced first;
+* **fact verification** — flag stored facts whose plausibility is unusually
+  low compared with sibling facts as candidates for auditing;
+* **missing-fact imputation** — when ``<s, p, ?>`` has no object, retrieve the
+  most plausible candidate objects via nearest-neighbour search in the Vector
+  DB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.vector_db import VectorDB
+from repro.errors import EmbeddingError
+from repro.ml.embeddings.models import KGEmbeddingModel
+from repro.ml.embeddings.training import KGEdgeList
+
+
+@dataclass
+class RankedFact:
+    """One object of a fact ranked by embedding plausibility."""
+
+    subject: str
+    predicate: str
+    obj: str
+    score: float
+    rank: int = 0
+
+
+@dataclass
+class VerificationFinding:
+    """A stored fact flagged as a potential error."""
+
+    subject: str
+    predicate: str
+    obj: str
+    score: float
+    zscore: float
+
+
+@dataclass
+class ImputedFact:
+    """A candidate object proposed for a missing fact."""
+
+    subject: str
+    predicate: str
+    candidate: str
+    score: float
+
+
+class EmbeddingTasks:
+    """Fact ranking / verification / imputation over a trained model."""
+
+    def __init__(self, model: KGEmbeddingModel, edges: KGEdgeList) -> None:
+        if model is None:
+            raise EmbeddingError("EmbeddingTasks needs a trained model")
+        self.model = model
+        self.edges = edges
+
+    # -------------------------------------------------------------- #
+    # scoring primitives
+    # -------------------------------------------------------------- #
+    def fact_score(self, subject: str, predicate: str, obj: str) -> float:
+        """Plausibility score of one ``<subject, predicate, object>`` fact."""
+        s = self._entity_index(subject)
+        r = self._relation_index(predicate)
+        o = self._entity_index(obj)
+        return float(
+            self.model.score(np.array([s]), np.array([r]), np.array([o]))[0]
+        )
+
+    def rank_facts(self, subject: str, predicate: str, objects: list[str]) -> list[RankedFact]:
+        """Rank the given objects of ``(subject, predicate)`` by plausibility."""
+        ranked = [
+            RankedFact(subject, predicate, obj, self.fact_score(subject, predicate, obj))
+            for obj in objects
+        ]
+        ranked.sort(key=lambda fact: (-fact.score, fact.obj))
+        for position, fact in enumerate(ranked, start=1):
+            fact.rank = position
+        return ranked
+
+    def verify_facts(
+        self, facts: list[tuple[str, str, str]], zscore_threshold: float = -1.5
+    ) -> list[VerificationFinding]:
+        """Flag facts whose plausibility is a low outlier among the given facts."""
+        if not facts:
+            return []
+        scores = np.array([self.fact_score(s, p, o) for s, p, o in facts])
+        mean = float(scores.mean())
+        std = float(scores.std()) or 1.0
+        findings = []
+        for (subject, predicate, obj), score in zip(facts, scores):
+            zscore = (float(score) - mean) / std
+            if zscore <= zscore_threshold:
+                findings.append(
+                    VerificationFinding(subject, predicate, obj, float(score), zscore)
+                )
+        findings.sort(key=lambda finding: finding.zscore)
+        return findings
+
+    def impute_missing(
+        self, subject: str, predicate: str, k: int = 5, exclude: tuple[str, ...] = ()
+    ) -> list[ImputedFact]:
+        """Propose the top-*k* candidate objects for the missing fact ``<s, p, ?>``."""
+        s = self._entity_index(subject)
+        r = self._relation_index(predicate)
+        scores = self.model.score_all_objects(s, r)
+        excluded = {self._entity_index(entity) for entity in exclude if entity in self.edges.entity_index}
+        excluded.add(s)
+        candidates = []
+        for index in np.argsort(-scores):
+            if int(index) in excluded:
+                continue
+            candidates.append(
+                ImputedFact(
+                    subject=subject,
+                    predicate=predicate,
+                    candidate=self.edges.entity_ids[int(index)],
+                    score=float(scores[int(index)]),
+                )
+            )
+            if len(candidates) >= k:
+                break
+        return candidates
+
+    # -------------------------------------------------------------- #
+    # vector DB integration
+    # -------------------------------------------------------------- #
+    def export_to_vector_db(
+        self, vector_db: VectorDB, entity_types: dict[str, str] | None = None
+    ) -> int:
+        """Store every entity embedding in the Graph Engine's vector DB."""
+        entity_types = entity_types or {}
+        count = 0
+        for entity_id, index in self.edges.entity_index.items():
+            vector = self.model.entity_embeddings[index]
+            vector_db.upsert(
+                entity_id, vector, {"type": entity_types.get(entity_id, "")}
+            )
+            count += 1
+        return count
+
+    def impute_with_vector_db(
+        self, vector_db: VectorDB, subject: str, predicate: str, k: int = 5
+    ) -> list[ImputedFact]:
+        """Impute via nearest-neighbour search in the Vector DB (serving path)."""
+        s = self._entity_index(subject)
+        r = self._relation_index(predicate)
+        query = self.model.predicted_object_vector(s, r)
+        hits = vector_db.search(query, k=k + 1, exclude=[subject])
+        return [
+            ImputedFact(subject=subject, predicate=predicate, candidate=hit.key, score=hit.score)
+            for hit in hits[:k]
+        ]
+
+    # -------------------------------------------------------------- #
+    # internals
+    # -------------------------------------------------------------- #
+    def _entity_index(self, entity_id: str) -> int:
+        try:
+            return self.edges.entity_index[entity_id]
+        except KeyError:
+            raise EmbeddingError(f"entity {entity_id!r} was not part of training") from None
+
+    def _relation_index(self, predicate: str) -> int:
+        try:
+            return self.edges.relation_index[predicate]
+        except KeyError:
+            raise EmbeddingError(f"relation {predicate!r} was not part of training") from None

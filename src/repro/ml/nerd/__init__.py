@@ -1,0 +1,25 @@
+"""Named entity recognition and disambiguation (NERD) stack."""
+
+from repro.ml.nerd.candidates import Candidate, CandidateRetriever, CandidateRetrieverConfig
+from repro.ml.nerd.disambiguation import (
+    ContextualDisambiguator,
+    DisambiguationResult,
+    MentionContext,
+)
+from repro.ml.nerd.entity_view import NERDEntityRecord, NERDEntityView
+from repro.ml.nerd.service import Annotation, Mention, NERDConfig, NERDService
+
+__all__ = [
+    "Annotation",
+    "Candidate",
+    "CandidateRetriever",
+    "CandidateRetrieverConfig",
+    "ContextualDisambiguator",
+    "DisambiguationResult",
+    "Mention",
+    "MentionContext",
+    "NERDConfig",
+    "NERDEntityRecord",
+    "NERDEntityView",
+    "NERDService",
+]

@@ -1,0 +1,155 @@
+"""Candidate retrieval for NERD: the blocking analogue of entity linking (§5.2).
+
+Given an entity mention, candidate retrieval prunes the enormous space of KG
+entities to a small set of likely matches using exact normalized-name lookup,
+token-level postings, and — when available — a learned string encoder.
+Admissible-type hints narrow the candidates further and entity importance
+prioritizes candidates when the budget is tight.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.ml.encoders import StringEncoder
+from repro.ml.nerd.entity_view import NERDEntityRecord, NERDEntityView
+from repro.ml.similarity import jaro_winkler_similarity, normalize_string, tokens
+from repro.model.ontology import Ontology
+
+
+@dataclass
+class Candidate:
+    """One candidate entity with its retrieval score."""
+
+    record: NERDEntityRecord
+    retrieval_score: float
+
+    @property
+    def entity_id(self) -> str:
+        """Candidate entity identifier."""
+        return self.record.entity_id
+
+
+@dataclass
+class CandidateRetrieverConfig:
+    """Retrieval budget and scoring knobs."""
+
+    max_candidates: int = 10
+    fuzzy_threshold: float = 0.82
+    importance_weight: float = 0.15
+    use_learned_similarity: bool = True
+
+
+class CandidateRetriever:
+    """Name-based candidate generation over the NERD Entity View."""
+
+    def __init__(
+        self,
+        view: NERDEntityView,
+        ontology: Ontology | None = None,
+        encoder: StringEncoder | None = None,
+        config: CandidateRetrieverConfig | None = None,
+    ) -> None:
+        self.view = view
+        self.ontology = ontology
+        self.encoder = encoder
+        self.config = config or CandidateRetrieverConfig()
+        self._exact: dict[str, set[str]] = defaultdict(set)
+        self._token_postings: dict[str, set[str]] = defaultdict(set)
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Rebuild the retrieval indexes from the current entity view."""
+        self._exact.clear()
+        self._token_postings.clear()
+        for record in self.view.records():
+            for name in record.normalized_names():
+                self._exact[name].add(record.entity_id)
+                for token in tokens(name):
+                    self._token_postings[token].add(record.entity_id)
+
+    def refresh_entities(self, entity_ids: list[str]) -> None:
+        """Re-index specific entities after the entity view was refreshed."""
+        doomed = set(entity_ids)
+        for postings in (self._exact, self._token_postings):
+            for key in list(postings):
+                postings[key] -= doomed
+                if not postings[key]:
+                    del postings[key]
+        for entity_id in entity_ids:
+            record = self.view.get(entity_id)
+            if record is None:
+                continue
+            for name in record.normalized_names():
+                self._exact[name].add(entity_id)
+                for token in tokens(name):
+                    self._token_postings[token].add(entity_id)
+
+    # -------------------------------------------------------------- #
+    # retrieval
+    # -------------------------------------------------------------- #
+    def retrieve(
+        self, mention: str, type_hints: tuple[str, ...] = ()
+    ) -> list[Candidate]:
+        """Return the top candidates for *mention*, best retrieval score first."""
+        normalized = normalize_string(mention)
+        if not normalized:
+            return []
+        scores: dict[str, float] = {}
+
+        for entity_id in self._exact.get(normalized, ()):
+            scores[entity_id] = max(scores.get(entity_id, 0.0), 1.0)
+
+        mention_tokens = set(tokens(normalized))
+        pooled: set[str] = set()
+        for token in mention_tokens:
+            pooled.update(self._token_postings.get(token, ()))
+        for entity_id in pooled:
+            if entity_id in scores:
+                continue
+            record = self.view.get(entity_id)
+            if record is None:
+                continue
+            best = max(
+                (jaro_winkler_similarity(normalized, name) for name in record.normalized_names()),
+                default=0.0,
+            )
+            if self.encoder is not None and self.config.use_learned_similarity:
+                learned = max(
+                    (self.encoder.similarity(normalized, name) for name in record.normalized_names()),
+                    default=0.0,
+                )
+                best = max(best, learned)
+            if best >= self.config.fuzzy_threshold:
+                scores[entity_id] = best
+
+        candidates = []
+        for entity_id, score in scores.items():
+            record = self.view.get(entity_id)
+            if record is None:
+                continue
+            if type_hints and not self._type_admissible(record, type_hints):
+                continue
+            blended = score + self.config.importance_weight * record.importance
+            candidates.append(Candidate(record=record, retrieval_score=blended))
+        candidates.sort(key=lambda c: (-c.retrieval_score, c.entity_id))
+        return candidates[: self.config.max_candidates]
+
+    def _type_admissible(
+        self, record: NERDEntityRecord, type_hints: tuple[str, ...]
+    ) -> bool:
+        if not record.types:
+            return True
+        for record_type in record.types:
+            for hint in type_hints:
+                if record_type == hint:
+                    return True
+                if (
+                    self.ontology is not None
+                    and self.ontology.has_type(record_type)
+                    and self.ontology.has_type(hint)
+                    and self.ontology.compatible_types(record_type, hint)
+                ):
+                    return True
+        return False

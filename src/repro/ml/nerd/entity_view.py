@@ -1,0 +1,182 @@
+"""The NERD Entity View: per-entity summaries used for disambiguation (§5.2).
+
+Each record summarizes what the KG knows about an entity — names and aliases,
+ontology types, a textual description, important one-hop relationships, the
+types of important neighbours, and the entity-importance score.  The view is
+computed by the Graph Engine and kept fresh incrementally as facts arrive;
+disambiguation compares the context of a text mention against these summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.model.entity import KGEntity
+from repro.model.identifiers import is_kg_identifier
+from repro.model.triples import TripleStore
+from repro.ml.similarity import normalize_string, tokens
+
+
+@dataclass
+class NERDEntityRecord:
+    """One entry of the NERD Entity View."""
+
+    entity_id: str
+    names: list[str] = field(default_factory=list)
+    types: list[str] = field(default_factory=list)
+    description: str = ""
+    relations: list[tuple[str, str]] = field(default_factory=list)   # (predicate, neighbour name)
+    neighbor_types: list[str] = field(default_factory=list)
+    importance: float = 0.0
+
+    def context_tokens(self) -> set[str]:
+        """Token bag summarizing the entity for context-overlap scoring."""
+        bag: set[str] = set()
+        for name in self.names:
+            bag.update(tokens(name))
+        bag.update(tokens(self.description))
+        for predicate, neighbor in self.relations:
+            bag.update(tokens(predicate))
+            bag.update(tokens(neighbor))
+        for neighbor_type in self.neighbor_types:
+            bag.update(tokens(neighbor_type))
+        return bag
+
+    def normalized_names(self) -> set[str]:
+        """Normalized surface forms for exact-match candidate retrieval."""
+        return {normalize_string(name) for name in self.names if normalize_string(name)}
+
+
+class NERDEntityView:
+    """Materialized, incrementally-maintainable collection of entity summaries."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, NERDEntityRecord] = {}
+
+    # -------------------------------------------------------------- #
+    # construction / maintenance
+    # -------------------------------------------------------------- #
+    @classmethod
+    def build(
+        cls,
+        store: TripleStore,
+        importance: dict[str, float] | None = None,
+    ) -> "NERDEntityView":
+        """Build the view for every entity in *store*."""
+        view = cls()
+        view.refresh(store, store.subjects(), importance)
+        return view
+
+    def refresh(
+        self,
+        store: TripleStore,
+        entity_ids: Iterable[str],
+        importance: dict[str, float] | None = None,
+    ) -> int:
+        """(Re)build the records of *entity_ids* from the store."""
+        importance = importance or {}
+        names_cache: dict[str, str] = {}
+        refreshed = 0
+        for entity_id in entity_ids:
+            facts = store.facts_about(entity_id)
+            if not facts:
+                self._records.pop(entity_id, None)
+                continue
+            entity = KGEntity.from_triples(entity_id, facts)
+            record = NERDEntityRecord(
+                entity_id=entity_id,
+                names=list(entity.names) or [entity_id],
+                types=list(entity.types),
+                description=str(entity.value("description") or ""),
+                importance=float(importance.get(entity_id, self._popularity(entity))),
+            )
+            record.relations = self._relations(store, entity, names_cache)
+            record.neighbor_types = self._neighbor_types(store, entity)
+            self._records[entity_id] = record
+            refreshed += 1
+        return refreshed
+
+    def remove(self, entity_id: str) -> bool:
+        """Drop an entity's record (entity deleted from the KG)."""
+        return self._records.pop(entity_id, None) is not None
+
+    # -------------------------------------------------------------- #
+    # access
+    # -------------------------------------------------------------- #
+    def get(self, entity_id: str) -> NERDEntityRecord | None:
+        """Record for *entity_id* (``None`` when absent)."""
+        return self._records.get(entity_id)
+
+    def records(self) -> list[NERDEntityRecord]:
+        """All records in the view."""
+        return list(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, entity_id: object) -> bool:
+        return entity_id in self._records
+
+    # -------------------------------------------------------------- #
+    # internals
+    # -------------------------------------------------------------- #
+    def _relations(
+        self, store: TripleStore, entity: KGEntity, names_cache: dict[str, str]
+    ) -> list[tuple[str, str]]:
+        relations: list[tuple[str, str]] = []
+        for predicate, values in entity.facts.items():
+            for value in values:
+                if isinstance(value, str) and self._is_entity_reference(store, value):
+                    relations.append((predicate, self._name_of(store, value, names_cache)))
+        for predicate, nodes in entity.relationships.items():
+            for node in nodes:
+                for rel_predicate, value in node.facts.items():
+                    if isinstance(value, str) and self._is_entity_reference(store, value):
+                        relations.append(
+                            (f"{predicate}.{rel_predicate}", self._name_of(store, value, names_cache))
+                        )
+        # Reverse relations: who points at this entity (e.g. the albums of an artist).
+        for triple in store.facts_with_object(entity.entity_id):
+            if triple.subject == entity.entity_id:
+                continue
+            relations.append(
+                (f"~{triple.relationship_predicate or triple.predicate}",
+                 self._name_of(store, triple.subject, names_cache))
+            )
+            if len(relations) >= 40:
+                break
+        return relations[:40]
+
+    def _neighbor_types(self, store: TripleStore, entity: KGEntity) -> list[str]:
+        neighbor_types: list[str] = []
+        neighbors: set[str] = set()
+        for values in entity.facts.values():
+            for value in values:
+                if isinstance(value, str) and self._is_entity_reference(store, value):
+                    neighbors.add(value)
+        for triple in store.facts_with_object(entity.entity_id):
+            neighbors.add(triple.subject)
+        for neighbor in sorted(neighbors):
+            for type_value in store.values_of(neighbor, "type"):
+                if type_value not in neighbor_types:
+                    neighbor_types.append(str(type_value))
+        return neighbor_types[:20]
+
+    def _is_entity_reference(self, store: TripleStore, value: str) -> bool:
+        return is_kg_identifier(value) or bool(store.facts_about(value))
+
+    def _name_of(self, store: TripleStore, entity_id: str, cache: dict[str, str]) -> str:
+        cached = cache.get(entity_id)
+        if cached is not None:
+            return cached
+        name = store.value_of(entity_id, "name") or entity_id
+        cache[entity_id] = str(name)
+        return str(name)
+
+    def _popularity(self, entity: KGEntity) -> float:
+        value = entity.value("popularity")
+        try:
+            return float(value) if value is not None else 0.0
+        except (TypeError, ValueError):
+            return 0.0

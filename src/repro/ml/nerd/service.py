@@ -1,0 +1,216 @@
+"""The NERD service: mention generation, retrieval, disambiguation (Figure 10).
+
+The service wires the stack together and exposes the two interfaces the paper
+describes:
+
+* **annotation** of text passages or semi-structured records — mention
+  generation over the input, candidate retrieval, bulk contextual
+  disambiguation, and preparation of the annotated output;
+* **object resolution** for KG construction — the service structurally
+  satisfies :class:`repro.construction.object_resolution.ObjectResolver`, so
+  the construction pipeline can plug it in directly (optionally with entity
+  type hints, the "NERD + type hints" configuration of Figure 14b).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.ml.encoders import StringEncoder
+from repro.ml.nerd.candidates import CandidateRetriever, CandidateRetrieverConfig
+from repro.ml.nerd.disambiguation import (
+    ContextualDisambiguator,
+    DisambiguationResult,
+    MentionContext,
+)
+from repro.ml.nerd.entity_view import NERDEntityView
+from repro.ml.similarity import normalize_string
+from repro.model.ontology import Ontology
+from repro.model.triples import TripleStore
+
+
+@dataclass
+class Mention:
+    """A detected entity mention inside a text passage."""
+
+    text: str
+    start: int
+    end: int
+
+
+@dataclass
+class Annotation:
+    """One annotated mention: the mention plus the linked entity (if any)."""
+
+    mention: Mention
+    entity_id: str | None
+    confidence: float
+    rejected: bool
+    candidate_count: int = 0
+
+
+@dataclass
+class NERDConfig:
+    """Service-level configuration."""
+
+    confidence_threshold: float = 0.5
+    max_mention_tokens: int = 5
+    retriever: CandidateRetrieverConfig = field(default_factory=CandidateRetrieverConfig)
+
+
+class NERDService:
+    """Entity recognition and disambiguation over the NERD Entity View."""
+
+    def __init__(
+        self,
+        view: NERDEntityView,
+        ontology: Ontology | None = None,
+        encoder: StringEncoder | None = None,
+        disambiguator: ContextualDisambiguator | None = None,
+        config: NERDConfig | None = None,
+    ) -> None:
+        self.view = view
+        self.ontology = ontology
+        self.config = config or NERDConfig()
+        self.retriever = CandidateRetriever(
+            view, ontology=ontology, encoder=encoder, config=self.config.retriever
+        )
+        self.disambiguator = disambiguator or ContextualDisambiguator(
+            encoder=encoder, rejection_threshold=self.config.confidence_threshold
+        )
+        self._gazetteer: dict[str, list[str]] = {}
+        self._rebuild_gazetteer()
+
+    @classmethod
+    def from_store(
+        cls,
+        store: TripleStore,
+        ontology: Ontology | None = None,
+        encoder: StringEncoder | None = None,
+        importance: dict[str, float] | None = None,
+        config: NERDConfig | None = None,
+    ) -> "NERDService":
+        """Build the entity view from a KG store and wrap a service around it."""
+        view = NERDEntityView.build(store, importance)
+        return cls(view, ontology=ontology, encoder=encoder, config=config)
+
+    # -------------------------------------------------------------- #
+    # maintenance
+    # -------------------------------------------------------------- #
+    def refresh_entities(self, store: TripleStore, entity_ids: list[str]) -> None:
+        """Refresh the entity view and retrieval indexes for changed entities."""
+        self.view.refresh(store, entity_ids)
+        self.retriever.refresh_entities(entity_ids)
+        self._rebuild_gazetteer()
+
+    def _rebuild_gazetteer(self) -> None:
+        self._gazetteer.clear()
+        for record in self.view.records():
+            for name in record.names:
+                normalized = normalize_string(name)
+                if normalized:
+                    self._gazetteer.setdefault(normalized, []).append(record.entity_id)
+
+    # -------------------------------------------------------------- #
+    # mention generation
+    # -------------------------------------------------------------- #
+    def generate_mentions(self, text: str) -> list[Mention]:
+        """Detect candidate entity mentions in *text*.
+
+        A gazetteer matcher over the entity view's surface forms: the longest
+        non-overlapping known name at each position becomes a mention.  This
+        is the "Mention Generation" component of the batch NERD deployment.
+        """
+        if not text:
+            return []
+        word_spans = [(m.start(), m.end()) for m in re.finditer(r"\S+", text)]
+        mentions: list[Mention] = []
+        position = 0
+        while position < len(word_spans):
+            matched = None
+            for width in range(min(self.config.max_mention_tokens, len(word_spans) - position), 0, -1):
+                start = word_spans[position][0]
+                end = word_spans[position + width - 1][1]
+                surface = text[start:end].strip(" ,.;:!?'\"")
+                if normalize_string(surface) in self._gazetteer:
+                    matched = Mention(text=surface, start=start, end=start + len(surface))
+                    position += width
+                    break
+            if matched is not None:
+                mentions.append(matched)
+            else:
+                position += 1
+        return mentions
+
+    # -------------------------------------------------------------- #
+    # annotation
+    # -------------------------------------------------------------- #
+    def annotate(self, text: str, type_hints: tuple[str, ...] = ()) -> list[Annotation]:
+        """Annotate every detected mention in *text* with a KG entity."""
+        annotations = []
+        for mention in self.generate_mentions(text):
+            result = self.link_mention(
+                mention.text, context_text=text, type_hints=type_hints
+            )
+            annotations.append(
+                Annotation(
+                    mention=mention,
+                    entity_id=result.entity_id,
+                    confidence=result.confidence,
+                    rejected=result.rejected,
+                    candidate_count=result.candidate_count,
+                )
+            )
+        return annotations
+
+    def annotate_batch(
+        self, passages: Iterable[str], type_hints: tuple[str, ...] = ()
+    ) -> list[list[Annotation]]:
+        """Annotate a batch of passages (the elastic batch deployment path)."""
+        return [self.annotate(passage, type_hints) for passage in passages]
+
+    def link_mention(
+        self,
+        mention: str,
+        context_text: str = "",
+        context_values: Sequence[str] = (),
+        type_hints: tuple[str, ...] = (),
+    ) -> DisambiguationResult:
+        """Retrieve candidates for one mention and disambiguate it."""
+        candidates = self.retriever.retrieve(mention, type_hints)
+        context = MentionContext(
+            mention=mention,
+            context_text=context_text,
+            context_values=tuple(context_values),
+            type_hints=type_hints,
+        )
+        return self.disambiguator.disambiguate(context, candidates)
+
+    # -------------------------------------------------------------- #
+    # object resolution protocol (used by KG construction)
+    # -------------------------------------------------------------- #
+    def resolve(self, mention: str, context) -> object | None:
+        """Resolve *mention* for object resolution during construction.
+
+        ``context`` is a
+        :class:`repro.construction.object_resolution.ResolutionContext`; the
+        return value mirrors
+        :class:`repro.construction.object_resolution.Resolution`.  Imported
+        lazily to keep the ML stack import-independent from construction.
+        """
+        from repro.construction.object_resolution import Resolution
+
+        result = self.link_mention(
+            mention,
+            context_values=tuple(getattr(context, "context_values", ()) or ()),
+            type_hints=tuple(getattr(context, "expected_types", ()) or ()),
+        )
+        if result.entity_id is None:
+            return None
+        return Resolution(
+            entity_id=result.entity_id,
+            confidence=result.confidence,
+            candidate_count=result.candidate_count,
+        )

@@ -1,0 +1,52 @@
+"""Core data model: extended triples, entities, ontology, provenance, deltas."""
+
+from repro.model.delta import SourceDelta, compute_delta
+from repro.model.entity import (
+    KGEntity,
+    RelationshipNode,
+    SourceEntity,
+    materialize_entities,
+)
+from repro.model.identifiers import (
+    IdGenerator,
+    content_hash,
+    is_kg_identifier,
+    qualify,
+    relationship_id,
+    split_identifier,
+)
+from repro.model.ontology import (
+    Cardinality,
+    EntityType,
+    Ontology,
+    PredicateSpec,
+    ValueKind,
+    default_ontology,
+)
+from repro.model.provenance import Provenance, SourceReference
+from repro.model.triples import ExtendedTriple, TripleStore
+
+__all__ = [
+    "Cardinality",
+    "EntityType",
+    "ExtendedTriple",
+    "IdGenerator",
+    "KGEntity",
+    "Ontology",
+    "PredicateSpec",
+    "Provenance",
+    "RelationshipNode",
+    "SourceDelta",
+    "SourceEntity",
+    "SourceReference",
+    "TripleStore",
+    "ValueKind",
+    "compute_delta",
+    "content_hash",
+    "default_ontology",
+    "is_kg_identifier",
+    "materialize_entities",
+    "qualify",
+    "relationship_id",
+    "split_identifier",
+]

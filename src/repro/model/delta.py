@@ -1,0 +1,140 @@
+"""Source delta payloads (Section 2.4).
+
+Source ingestion eagerly computes, for every new upstream snapshot, the
+difference with respect to the snapshot last consumed by knowledge
+construction.  The difference is materialized as four partitions:
+
+* ``added``   — entities present now but not at the last consumption;
+* ``deleted`` — entities present at the last consumption but not now;
+* ``updated`` — entities present in both whose non-volatile payload changed;
+* ``volatile`` — a *full* dump of the volatile predicates (popularity-style
+  churn) of all current entities, kept out of the other partitions so that
+  high-frequency updates do not force relinking.
+
+Knowledge construction always consumes :class:`SourceDelta` objects; a brand
+new source is represented as a delta with a full ``added`` payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.model.entity import SourceEntity
+
+
+@dataclass
+class SourceDelta:
+    """Partitioned change payload for one source between two timestamps."""
+
+    source_id: str
+    added: list[SourceEntity] = field(default_factory=list)
+    deleted: list[SourceEntity] = field(default_factory=list)
+    updated: list[SourceEntity] = field(default_factory=list)
+    volatile: list[SourceEntity] = field(default_factory=list)
+    from_timestamp: int = 0
+    to_timestamp: int = 0
+
+    @classmethod
+    def initial(
+        cls,
+        source_id: str,
+        entities: Sequence[SourceEntity],
+        volatile: Sequence[SourceEntity] = (),
+        timestamp: int = 0,
+    ) -> "SourceDelta":
+        """Delta representing the very first consumption of a source."""
+        return cls(
+            source_id=source_id,
+            added=list(entities),
+            volatile=list(volatile),
+            from_timestamp=timestamp,
+            to_timestamp=timestamp,
+        )
+
+    def is_empty(self) -> bool:
+        """True when there is nothing for construction to do."""
+        return not (self.added or self.deleted or self.updated or self.volatile)
+
+    def change_count(self) -> int:
+        """Number of entities in the non-volatile partitions."""
+        return len(self.added) + len(self.deleted) + len(self.updated)
+
+    def touched_entity_ids(self) -> set[str]:
+        """Source-namespace identifiers of every touched entity."""
+        touched = set()
+        for partition in (self.added, self.deleted, self.updated, self.volatile):
+            touched.update(entity.entity_id for entity in partition)
+        return touched
+
+    def summary(self) -> dict[str, int]:
+        """Per-partition entity counts, useful for logging and tests."""
+        return {
+            "added": len(self.added),
+            "deleted": len(self.deleted),
+            "updated": len(self.updated),
+            "volatile": len(self.volatile),
+        }
+
+
+def compute_delta(
+    source_id: str,
+    previous: Iterable[SourceEntity],
+    current: Iterable[SourceEntity],
+    volatile_predicates: Iterable[str] = (),
+    from_timestamp: int = 0,
+    to_timestamp: int = 1,
+) -> SourceDelta:
+    """Diff two snapshots of a source into a :class:`SourceDelta`.
+
+    ``volatile_predicates`` are excluded from the change comparison and routed
+    to the ``volatile`` partition as a full dump of the current snapshot, per
+    Section 2.4 of the paper.
+    """
+    volatile_set = set(volatile_predicates)
+    previous_by_id = {entity.entity_id: entity for entity in previous}
+    current_by_id = {entity.entity_id: entity for entity in current}
+
+    delta = SourceDelta(
+        source_id=source_id,
+        from_timestamp=from_timestamp,
+        to_timestamp=to_timestamp,
+    )
+
+    for entity_id, entity in current_by_id.items():
+        stable_entity = _strip_volatile(entity, volatile_set)
+        if entity_id not in previous_by_id:
+            delta.added.append(stable_entity)
+        else:
+            previous_stable = _strip_volatile(previous_by_id[entity_id], volatile_set)
+            if stable_entity.fingerprint() != previous_stable.fingerprint():
+                delta.updated.append(stable_entity)
+        volatile_entity = _only_volatile(entity, volatile_set)
+        if volatile_entity is not None:
+            delta.volatile.append(volatile_entity)
+
+    for entity_id, entity in previous_by_id.items():
+        if entity_id not in current_by_id:
+            delta.deleted.append(_strip_volatile(entity, volatile_set))
+
+    return delta
+
+
+def _strip_volatile(entity: SourceEntity, volatile: set[str]) -> SourceEntity:
+    clone = entity.copy()
+    if volatile:
+        clone.properties = {
+            k: v for k, v in clone.properties.items() if k not in volatile
+        }
+    return clone
+
+
+def _only_volatile(entity: SourceEntity, volatile: set[str]) -> SourceEntity | None:
+    if not volatile:
+        return None
+    kept = {k: v for k, v in entity.properties.items() if k in volatile}
+    if not kept:
+        return None
+    clone = entity.copy()
+    clone.properties = kept
+    return clone

@@ -1,0 +1,143 @@
+"""Provenance, locale, and trust metadata attached to every KG fact.
+
+Section 2.1 of the paper extends the triple format with three metadata
+fields: an array of *sources* (data provenance), a *locale*, and an array of
+*trust* scores aligned with the sources.  This module models that metadata and
+the bookkeeping operations the platform performs on it:
+
+* merging the provenance of two equivalent facts coming from different
+  sources (non-destructive integration);
+* removing a source on demand (licensing changes, data-deletion requests);
+* aggregating per-source trust scores into a single confidence value used for
+  accuracy SLAs and fact-auditing decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import DataModelError
+
+DEFAULT_LOCALE = "en"
+DEFAULT_TRUST = 0.5
+
+
+@dataclass(frozen=True)
+class SourceReference:
+    """A reference to an upstream data source contributing a fact."""
+
+    source_id: str
+    trust: float = DEFAULT_TRUST
+
+    def __post_init__(self) -> None:
+        if not self.source_id:
+            raise DataModelError("source_id must be non-empty")
+        if not 0.0 <= self.trust <= 1.0:
+            raise DataModelError(
+                f"trust must be within [0, 1], got {self.trust!r} for "
+                f"source {self.source_id!r}"
+            )
+
+
+@dataclass
+class Provenance:
+    """Ordered, deduplicated collection of source references for one fact."""
+
+    references: list[SourceReference] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, source_id: str, trust: float = DEFAULT_TRUST) -> "Provenance":
+        """Build provenance for a fact observed in a single source."""
+        return cls([SourceReference(source_id, trust)])
+
+    @classmethod
+    def from_mapping(cls, trust_by_source: Mapping[str, float]) -> "Provenance":
+        """Build provenance from a ``{source_id: trust}`` mapping."""
+        return cls(
+            [SourceReference(sid, trust) for sid, trust in trust_by_source.items()]
+        )
+
+    @property
+    def sources(self) -> list[str]:
+        """Source identifiers in insertion order."""
+        return [ref.source_id for ref in self.references]
+
+    @property
+    def trust_scores(self) -> list[float]:
+        """Trust scores aligned with :attr:`sources`."""
+        return [ref.trust for ref in self.references]
+
+    def trust_of(self, source_id: str) -> float | None:
+        """Return the trust recorded for *source_id*, or ``None`` if absent."""
+        for ref in self.references:
+            if ref.source_id == source_id:
+                return ref.trust
+        return None
+
+    def add(self, source_id: str, trust: float = DEFAULT_TRUST) -> None:
+        """Record that *source_id* also asserts this fact.
+
+        If the source is already present the trust score is updated to the
+        maximum of the old and new values (a source never becomes less sure of
+        a fact it re-asserts).
+        """
+        for index, ref in enumerate(self.references):
+            if ref.source_id == source_id:
+                if trust > ref.trust:
+                    self.references[index] = SourceReference(source_id, trust)
+                return
+        self.references.append(SourceReference(source_id, trust))
+
+    def merge(self, other: "Provenance") -> "Provenance":
+        """Return a new provenance combining this one with *other*."""
+        merged = Provenance(list(self.references))
+        for ref in other.references:
+            merged.add(ref.source_id, ref.trust)
+        return merged
+
+    def remove_source(self, source_id: str) -> bool:
+        """Drop *source_id* from the provenance.
+
+        Returns ``True`` if the source was present.  Used to enforce
+        on-demand data deletion and license compliance: a fact whose
+        provenance becomes empty must be removed from served views.
+        """
+        before = len(self.references)
+        self.references = [r for r in self.references if r.source_id != source_id]
+        return len(self.references) != before
+
+    def restrict_to(self, allowed_sources: Iterable[str]) -> "Provenance":
+        """Return provenance restricted to an allow-list of sources."""
+        allowed = set(allowed_sources)
+        return Provenance([r for r in self.references if r.source_id in allowed])
+
+    def confidence(self) -> float:
+        """Aggregate per-source trust into a single correctness probability.
+
+        Sources are treated as independent noisy voters: the probability that
+        *all* of them are wrong is the product of their error rates, so the
+        aggregated confidence is the complement of that product.  This mirrors
+        the probabilistic representation of knowledge discussed in the paper
+        (confidence scores driving accuracy SLAs and fact auditing).
+        """
+        if not self.references:
+            return 0.0
+        wrong_probability = 1.0
+        for ref in self.references:
+            wrong_probability *= 1.0 - ref.trust
+        return 1.0 - wrong_probability
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when no source supports the fact any longer."""
+        return not self.references
+
+    def copy(self) -> "Provenance":
+        """Return an independent copy."""
+        return Provenance(list(self.references))
+
+    def __len__(self) -> int:
+        return len(self.references)
+
+    def __contains__(self, source_id: object) -> bool:
+        return any(ref.source_id == source_id for ref in self.references)

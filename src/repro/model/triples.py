@@ -1,0 +1,348 @@
+"""The extended-triples data model (Section 2.1, Table 1 of the paper).
+
+A knowledge graph fact is a ``<subject, predicate, object>`` triple.  To avoid
+expensive self-joins when retrieving one-hop composite relationships, Saga
+flattens relationship nodes into the *extended triple* format: a triple may
+carry a ``relationship_id`` and ``relationship_predicate`` describing a fact
+about a composite relationship node (e.g. ``educated_at.school``).
+
+Every extended triple also carries provenance (sources + trust) and a locale,
+as required for data governance and multi-lingual knowledge.
+
+The :class:`TripleStore` is a small in-memory container with the indexes the
+rest of the platform needs (by subject, by predicate, by object) plus source
+removal and snapshot/diff helpers.  The production system stores these triples
+in a distributed warehouse; the relational layout is identical.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import DataModelError
+from repro.model.provenance import DEFAULT_LOCALE, Provenance
+
+Value = object  # literal (str, int, float, bool) or an entity identifier
+
+
+@dataclass
+class ExtendedTriple:
+    """One row of the extended-triples relational model.
+
+    Attributes mirror Table 1 in the paper:
+
+    subject
+        Entity identifier the fact is about.
+    predicate
+        Ontology predicate name (e.g. ``name``, ``educated_at``).
+    obj
+        Literal value or identifier of another entity.
+    relationship_id
+        Identifier of the composite relationship node this triple belongs to,
+        or ``None`` for simple facts.
+    relationship_predicate
+        Predicate on the relationship node (e.g. ``school``), or ``None``.
+    locale
+        BCP-47-ish locale tag for literals.
+    provenance
+        Sources asserting the fact and their trust scores.
+    """
+
+    subject: str
+    predicate: str
+    obj: Value
+    relationship_id: str | None = None
+    relationship_predicate: str | None = None
+    locale: str = DEFAULT_LOCALE
+    provenance: Provenance = field(default_factory=Provenance)
+
+    def __post_init__(self) -> None:
+        if not self.subject:
+            raise DataModelError("triple subject must be non-empty")
+        if not self.predicate:
+            raise DataModelError("triple predicate must be non-empty")
+        if (self.relationship_id is None) != (self.relationship_predicate is None):
+            raise DataModelError(
+                "relationship_id and relationship_predicate must be set together "
+                f"(subject={self.subject!r}, predicate={self.predicate!r})"
+            )
+
+    @property
+    def is_composite(self) -> bool:
+        """True when the triple describes a composite relationship node."""
+        return self.relationship_id is not None
+
+    @property
+    def sources(self) -> list[str]:
+        """Identifiers of the sources asserting this fact."""
+        return self.provenance.sources
+
+    @property
+    def trust(self) -> list[float]:
+        """Trust scores aligned with :attr:`sources`."""
+        return self.provenance.trust_scores
+
+    def confidence(self) -> float:
+        """Aggregated probability that the fact is correct."""
+        return self.provenance.confidence()
+
+    def key(self) -> tuple:
+        """Identity key used when merging provenance of equivalent facts.
+
+        Two triples with equal keys state the same fact (possibly observed in
+        different sources) and are consolidated during fusion.
+        """
+        return (
+            self.subject,
+            self.predicate,
+            self.relationship_id,
+            self.relationship_predicate,
+            self.obj,
+            self.locale,
+        )
+
+    def with_subject(self, subject: str) -> "ExtendedTriple":
+        """Return a copy with the subject replaced (used after linking)."""
+        return replace(self, subject=subject, provenance=self.provenance.copy())
+
+    def with_object(self, obj: Value) -> "ExtendedTriple":
+        """Return a copy with the object replaced (used after object resolution)."""
+        return replace(self, obj=obj, provenance=self.provenance.copy())
+
+    def copy(self) -> "ExtendedTriple":
+        """Return an independent copy of the triple."""
+        return replace(self, provenance=self.provenance.copy())
+
+    def to_row(self) -> dict:
+        """Serialize to the flat relational row shown in Table 1."""
+        return {
+            "subject": self.subject,
+            "predicate": self.predicate,
+            "r_id": self.relationship_id,
+            "r_predicate": self.relationship_predicate,
+            "object": self.obj,
+            "locale": self.locale,
+            "sources": list(self.provenance.sources),
+            "trust": list(self.provenance.trust_scores),
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "ExtendedTriple":
+        """Deserialize a row produced by :meth:`to_row`."""
+        provenance = Provenance.from_mapping(
+            dict(zip(row.get("sources", []), row.get("trust", [])))
+        )
+        return cls(
+            subject=row["subject"],
+            predicate=row["predicate"],
+            obj=row["object"],
+            relationship_id=row.get("r_id"),
+            relationship_predicate=row.get("r_predicate"),
+            locale=row.get("locale", DEFAULT_LOCALE),
+            provenance=provenance,
+        )
+
+
+class TripleStore:
+    """In-memory collection of extended triples with secondary indexes.
+
+    The store deduplicates facts by :meth:`ExtendedTriple.key`; adding an
+    already-present fact merges provenance instead of creating a duplicate row
+    (non-destructive integration).
+    """
+
+    def __init__(self, triples: Iterable[ExtendedTriple] | None = None) -> None:
+        self._by_key: dict[tuple, ExtendedTriple] = {}
+        self._by_subject: dict[str, set[tuple]] = defaultdict(set)
+        self._by_predicate: dict[str, set[tuple]] = defaultdict(set)
+        self._by_object: dict[Value, set[tuple]] = defaultdict(set)
+        if triples:
+            for triple in triples:
+                self.add(triple)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, triple: ExtendedTriple) -> ExtendedTriple:
+        """Insert *triple*, merging provenance when the fact already exists.
+
+        Returns the stored triple (existing instance when merged).
+        """
+        key = triple.key()
+        existing = self._by_key.get(key)
+        if existing is not None:
+            existing.provenance = existing.provenance.merge(triple.provenance)
+            return existing
+        stored = triple.copy()
+        self._by_key[key] = stored
+        self._by_subject[stored.subject].add(key)
+        self._by_predicate[stored.predicate].add(key)
+        self._index_object(stored, key)
+        return stored
+
+    def add_all(self, triples: Iterable[ExtendedTriple]) -> int:
+        """Insert every triple; return how many new facts were created."""
+        before = len(self._by_key)
+        for triple in triples:
+            self.add(triple)
+        return len(self._by_key) - before
+
+    def discard(self, triple: ExtendedTriple) -> bool:
+        """Remove the fact identified by *triple*'s key. Returns ``True`` if present."""
+        return self._discard_key(triple.key())
+
+    def remove_subject(self, subject: str) -> int:
+        """Remove every fact about *subject*; return the number removed."""
+        keys = list(self._by_subject.get(subject, ()))
+        for key in keys:
+            self._discard_key(key)
+        return len(keys)
+
+    def remove_source(self, source_id: str) -> int:
+        """Drop *source_id* from all provenance; purge facts left unsupported.
+
+        Implements on-demand source deletion (licensing / governance).
+        Returns the number of facts removed entirely.
+        """
+        removed = 0
+        for key in list(self._by_key):
+            triple = self._by_key[key]
+            if source_id in triple.provenance:
+                triple.provenance.remove_source(source_id)
+                if triple.provenance.is_empty():
+                    self._discard_key(key)
+                    removed += 1
+        return removed
+
+    def overwrite_source_partition(
+        self, source_id: str, triples: Iterable[ExtendedTriple]
+    ) -> tuple[int, int]:
+        """Replace every fact attributed *only* to *source_id* with *triples*.
+
+        This is the optimized fusion path for volatile predicates described in
+        Section 2.4: the partition of the KG owned by a source (e.g. its
+        popularity facts) is overwritten wholesale without joins.
+
+        Returns ``(facts_removed, facts_added)``.
+        """
+        removed = 0
+        for key in list(self._by_key):
+            triple = self._by_key[key]
+            if triple.provenance.sources == [source_id]:
+                self._discard_key(key)
+                removed += 1
+        added = self.add_all(triples)
+        return removed, added
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def facts_about(self, subject: str) -> list[ExtendedTriple]:
+        """Return all facts whose subject is *subject*."""
+        return [self._by_key[key] for key in sorted(self._by_subject.get(subject, ()), key=repr)]
+
+    def facts_with_predicate(self, predicate: str) -> list[ExtendedTriple]:
+        """Return all facts using *predicate*."""
+        return [self._by_key[key] for key in sorted(self._by_predicate.get(predicate, ()), key=repr)]
+
+    def facts_with_object(self, obj: Value) -> list[ExtendedTriple]:
+        """Return all facts whose object equals *obj* (literal or entity id)."""
+        try:
+            keys = self._by_object.get(obj, set())
+        except TypeError:  # unhashable object value: fall back to a scan
+            return [t for t in self if t.obj == obj]
+        return [self._by_key[key] for key in sorted(keys, key=repr)]
+
+    def value_of(self, subject: str, predicate: str) -> Value | None:
+        """Return one object for ``(subject, predicate)`` or ``None``."""
+        for triple in self.facts_about(subject):
+            if triple.predicate == predicate and not triple.is_composite:
+                return triple.obj
+        return None
+
+    def values_of(self, subject: str, predicate: str) -> list[Value]:
+        """Return every object asserted for ``(subject, predicate)``."""
+        return [
+            t.obj
+            for t in self.facts_about(subject)
+            if t.predicate == predicate and not t.is_composite
+        ]
+
+    def relationship_facts(
+        self, subject: str, predicate: str
+    ) -> dict[str, list[ExtendedTriple]]:
+        """Group composite facts of ``(subject, predicate)`` by relationship id."""
+        grouped: dict[str, list[ExtendedTriple]] = defaultdict(list)
+        for triple in self.facts_about(subject):
+            if triple.predicate == predicate and triple.is_composite:
+                grouped[triple.relationship_id].append(triple)
+        return dict(grouped)
+
+    def subjects(self) -> set[str]:
+        """Return the set of all subject identifiers."""
+        return {s for s, keys in self._by_subject.items() if keys}
+
+    def predicates(self) -> set[str]:
+        """Return the set of all predicates in use."""
+        return {p for p, keys in self._by_predicate.items() if keys}
+
+    def entity_count(self) -> int:
+        """Number of distinct subjects (entities) in the store."""
+        return len(self.subjects())
+
+    def fact_count(self) -> int:
+        """Number of distinct facts in the store."""
+        return len(self._by_key)
+
+    def filter(self, predicate_fn: Callable[[ExtendedTriple], bool]) -> "TripleStore":
+        """Return a new store with the facts satisfying *predicate_fn*."""
+        return TripleStore(t.copy() for t in self if predicate_fn(t))
+
+    def snapshot(self) -> "TripleStore":
+        """Return a deep copy of the store (used for versioned analytics)."""
+        return TripleStore(t.copy() for t in self)
+
+    def to_rows(self) -> list[dict]:
+        """Serialize the whole store to relational rows."""
+        return [t.to_row() for t in self]
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[dict]) -> "TripleStore":
+        """Deserialize a store from rows produced by :meth:`to_rows`."""
+        return cls(ExtendedTriple.from_row(row) for row in rows)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _index_object(self, triple: ExtendedTriple, key: tuple) -> None:
+        try:
+            self._by_object[triple.obj].add(key)
+        except TypeError:
+            # Unhashable literal objects are rare; they are still retrievable
+            # via full scans, just not via the object index.
+            pass
+
+    def _discard_key(self, key: tuple) -> bool:
+        triple = self._by_key.pop(key, None)
+        if triple is None:
+            return False
+        self._by_subject[triple.subject].discard(key)
+        self._by_predicate[triple.predicate].discard(key)
+        try:
+            self._by_object[triple.obj].discard(key)
+        except TypeError:
+            pass
+        return True
+
+    def __iter__(self) -> Iterator[ExtendedTriple]:
+        return iter(list(self._by_key.values()))
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, triple: object) -> bool:
+        if not isinstance(triple, ExtendedTriple):
+            return False
+        return triple.key() in self._by_key

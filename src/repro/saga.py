@@ -1,0 +1,176 @@
+"""The Saga platform facade (Figure 1).
+
+:class:`SagaPlatform` wires the individual subsystems into the end-to-end
+platform the paper describes: source ingestion pipelines feed the incremental
+knowledge-construction pipeline, whose output is published to the Graph Engine
+(the polystore serving layer); the NERD service is built over the engine's KG
+and powers both object resolution and semantic annotation; and the Live Graph
+engine serves the union of a stable-KG view with streaming sources under
+interactive latencies.
+
+The facade is intentionally thin: every subsystem remains usable on its own
+(and is exercised independently in tests and benchmarks), but examples and
+downstream users get a one-object entry point::
+
+    platform = SagaPlatform()
+    platform.register_source("musicdb")
+    platform.ingest_snapshot("musicdb", entities)
+    platform.graph_engine.search("Billie Eilish")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.construction.matching import MatcherRegistry
+from repro.construction.pipeline import KnowledgeConstructionPipeline
+from repro.construction.incremental import ConstructionReport
+from repro.datagen.streams import LiveEvent
+from repro.engine.graph_engine import GraphEngine
+from repro.ingestion.alignment import AlignmentConfig
+from repro.ingestion.pipeline import IngestionHub, IngestionPipeline, IngestionResult
+from repro.ingestion.transform import EntityTransformer
+from repro.ingestion.importers import Importer
+from repro.live.engine import LiveGraphEngine
+from repro.ml.encoders import StringEncoder
+from repro.ml.nerd.service import NERDService
+from repro.model.entity import SourceEntity
+from repro.model.ontology import Ontology, default_ontology
+
+
+@dataclass
+class SagaMetrics:
+    """Aggregate platform metrics surfaced by :meth:`SagaPlatform.metrics`."""
+
+    facts: int = 0
+    entities: int = 0
+    sources: int = 0
+    payloads_consumed: int = 0
+    engine_operations: int = 0
+    store_freshness: dict[str, int] = field(default_factory=dict)
+    relative_growth: dict[str, float] = field(default_factory=dict)
+
+
+class SagaPlatform:
+    """End-to-end knowledge construction and serving platform."""
+
+    def __init__(
+        self,
+        ontology: Ontology | None = None,
+        matchers: MatcherRegistry | None = None,
+        name_encoder: StringEncoder | None = None,
+    ) -> None:
+        self.ontology = ontology or default_ontology()
+        self.ingestion = IngestionHub(self.ontology)
+        self.construction = KnowledgeConstructionPipeline(self.ontology, matchers=matchers)
+        self.graph_engine = GraphEngine(self.ontology)
+        self.name_encoder = name_encoder
+        self._nerd: NERDService | None = None
+        self._live: LiveGraphEngine | None = None
+
+    # -------------------------------------------------------------- #
+    # source onboarding and ingestion
+    # -------------------------------------------------------------- #
+    def register_source(
+        self,
+        source_id: str,
+        transformer: EntityTransformer | None = None,
+        alignment: AlignmentConfig | None = None,
+    ) -> IngestionPipeline:
+        """Register (self-serve onboard) a new data source."""
+        return self.ingestion.register_source(source_id, transformer, alignment)
+
+    def ingest_snapshot(
+        self,
+        source_id: str,
+        entities: Sequence[SourceEntity],
+        timestamp: int | None = None,
+        publish: bool = True,
+    ) -> ConstructionReport:
+        """Ingest one snapshot of a source end-to-end.
+
+        Runs the source's ingestion pipeline (alignment, delta computation,
+        export), consumes the delta with incremental knowledge construction,
+        and publishes the changed subjects to the Graph Engine.
+        """
+        pipeline = self.ingestion.get(source_id)
+        ingestion_result = pipeline.run_entities(entities, timestamp=timestamp)
+        return self._consume(ingestion_result, publish)
+
+    def ingest_importer(
+        self,
+        source_id: str,
+        importer: Importer,
+        timestamp: int | None = None,
+        publish: bool = True,
+    ) -> ConstructionReport:
+        """Ingest a snapshot read from an importer (CSV / JSON / in-memory)."""
+        pipeline = self.ingestion.get(source_id)
+        ingestion_result = pipeline.run(importer, timestamp=timestamp)
+        return self._consume(ingestion_result, publish)
+
+    def _consume(self, ingestion_result: IngestionResult, publish: bool) -> ConstructionReport:
+        report = self.construction.consume_ingestion_result(ingestion_result)
+        if publish:
+            changed = set(report.fusion.subjects_touched)
+            self.graph_engine.publish_subjects(
+                self.construction.store, changed, source_id=report.source_id
+            )
+            if self._nerd is not None and changed:
+                self._nerd.refresh_entities(self.graph_engine.triples, sorted(changed))
+        return report
+
+    # -------------------------------------------------------------- #
+    # ML services
+    # -------------------------------------------------------------- #
+    @property
+    def nerd(self) -> NERDService:
+        """The NERD service over the current KG (built lazily, kept fresh)."""
+        if self._nerd is None:
+            importance = {
+                entity_id: score.score
+                for entity_id, score in self.graph_engine.importance_scores().items()
+            }
+            self._nerd = NERDService.from_store(
+                self.graph_engine.triples,
+                ontology=self.ontology,
+                encoder=self.name_encoder,
+                importance=importance,
+            )
+        return self._nerd
+
+    def annotate(self, text: str) -> list:
+        """Semantic annotation of free text with KG entities (§6.3)."""
+        return self.nerd.annotate(text)
+
+    # -------------------------------------------------------------- #
+    # live graph
+    # -------------------------------------------------------------- #
+    @property
+    def live(self) -> LiveGraphEngine:
+        """The live graph engine, seeded with a stable-KG view on first use."""
+        if self._live is None:
+            self._live = LiveGraphEngine(resolution_service=self.nerd)
+            self._live.load_stable_view(self.graph_engine.triples)
+        return self._live
+
+    def ingest_live_events(self, events: Iterable[LiveEvent]) -> int:
+        """Feed streaming events into the live graph."""
+        return self.live.ingest_events(events)
+
+    # -------------------------------------------------------------- #
+    # metrics
+    # -------------------------------------------------------------- #
+    def metrics(self) -> SagaMetrics:
+        """Aggregate platform metrics."""
+        construction_metrics = self.construction.metrics()
+        return SagaMetrics(
+            facts=self.graph_engine.triples.fact_count(),
+            entities=self.graph_engine.triples.entity_count(),
+            sources=int(construction_metrics["sources_consumed"]),
+            payloads_consumed=int(construction_metrics["payloads_consumed"]),
+            engine_operations=self.graph_engine.stats.operations_published,
+            store_freshness=self.graph_engine.freshness(),
+            relative_growth=dict(construction_metrics["relative_growth"]),
+        )

@@ -1,0 +1,98 @@
+"""Shared fixtures for the test suite.
+
+Heavyweight artifacts (the synthetic world, the reference KG, the source
+suite, a constructed platform) are session-scoped so the several hundred tests
+in this suite stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import (
+    LiveStreamGenerator,
+    TextCorpusConfig,
+    TextCorpusGenerator,
+    WorldConfig,
+    default_source_suite,
+    generate_world,
+    world_to_store,
+)
+from repro.model import default_ontology
+
+
+SMALL_WORLD_CONFIG = WorldConfig(
+    num_people=24,
+    num_artists=10,
+    num_actors=6,
+    num_athletes=4,
+    songs_per_artist=3,
+    albums_per_artist=2,
+    num_playlists=4,
+    num_movies=8,
+    num_cities=12,
+    num_countries=5,
+    num_schools=6,
+    num_labels=5,
+    num_teams=6,
+    num_stadiums=6,
+    num_companies=6,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def ontology():
+    """The default open-domain ontology."""
+    return default_ontology()
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A small deterministic ground-truth world."""
+    return generate_world(SMALL_WORLD_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def reference_store(world):
+    """The reference KG built directly from the ground-truth world."""
+    return world_to_store(world)
+
+
+@pytest.fixture(scope="session")
+def source_suite(world):
+    """The four-source noisy suite derived from the world."""
+    return default_source_suite(world)
+
+
+@pytest.fixture(scope="session")
+def truth_map(source_suite):
+    """Mapping from source entity ids to ground-truth ids across the suite."""
+    combined: dict[str, str] = {}
+    for source in source_suite:
+        combined.update(source.truth_map)
+    return combined
+
+
+@pytest.fixture(scope="session")
+def live_events(world):
+    """The deterministic live event streams for the world."""
+    return LiveStreamGenerator(world).all_events()
+
+
+@pytest.fixture(scope="session")
+def passages(world):
+    """Annotated text passages for NERD evaluation."""
+    return TextCorpusGenerator(world, TextCorpusConfig(num_passages=60, seed=31)).generate()
+
+
+@pytest.fixture(scope="session")
+def constructed_platform(world, source_suite):
+    """A SagaPlatform that has ingested every source snapshot once."""
+    from repro import SagaPlatform
+
+    platform = SagaPlatform()
+    for source in source_suite:
+        platform.register_source(source.source_id)
+        platform.ingest_snapshot(source.source_id, source.entities)
+    return platform

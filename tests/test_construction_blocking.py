@@ -1,0 +1,110 @@
+"""Tests for blocking and pair generation (repro.construction.blocking/pairs)."""
+
+import pytest
+
+from repro.construction.blocking import (
+    Blocker,
+    BlockingConfig,
+    exact_value_keys,
+    name_prefix_keys,
+    name_qgram_keys,
+    name_token_keys,
+    soundex_keys,
+)
+from repro.construction.pairs import PairGenerationConfig, PairGenerator
+from repro.construction.records import LinkableRecord
+
+
+def record(record_id, name, entity_type="person", is_kg=False, **props):
+    properties = {"name": [name]}
+    for key, value in props.items():
+        properties[key] = value if isinstance(value, list) else [value]
+    return LinkableRecord(record_id=record_id, entity_type=entity_type,
+                          properties=properties, is_kg=is_kg)
+
+
+def test_blocking_key_functions():
+    r = record("a", "Robert Smith")
+    assert any(key.startswith("qg:") for key in name_qgram_keys(r))
+    assert set(name_token_keys(r)) == {"tok:robert", "tok:smith"}
+    assert name_prefix_keys(r) == ["pfx:robe"]
+    assert all(key.startswith("sdx:") for key in soundex_keys(r))
+    assert exact_value_keys("genre")(record("b", "X", genre="pop")) == ["val:genre:pop"]
+
+
+def test_similar_names_share_blocks():
+    blocker = Blocker(BlockingConfig(functions=("name_token", "name_prefix")))
+    records = [
+        record("src:1", "Robert Smith"),
+        record("kg:1", "Robert Smith", is_kg=True),
+        record("src:2", "Completely Different"),
+    ]
+    blocks = blocker.block(records)
+    together = [
+        block for block in blocks
+        if {"src:1", "kg:1"}.issubset({r.record_id for r in block.records})
+    ]
+    assert together, "matching records must share at least one block"
+    assert any(block.has_mixed_origin for block in together)
+
+
+def test_oversized_blocks_are_dropped():
+    blocker = Blocker(BlockingConfig(functions=("name_token",), max_block_size=3))
+    records = [record(f"src:{i}", "Common Name") for i in range(10)]
+    assert blocker.block(records) == []
+
+
+def test_singleton_blocks_are_dropped():
+    blocker = Blocker()
+    blocks = blocker.block([record("src:1", "Unique Name Here")])
+    assert blocks == []
+
+
+def test_type_partitioning_separates_types():
+    blocker = Blocker(BlockingConfig(functions=("name_token",), partition_by_type=True))
+    records = [record("a", "Madison", entity_type="city"),
+               record("b", "Madison", entity_type="person")]
+    assert blocker.block(records) == []
+    mixed = Blocker(BlockingConfig(functions=("name_token",), partition_by_type=False))
+    assert len(mixed.block(records)) == 1
+
+
+def test_blocking_statistics():
+    blocker = Blocker(BlockingConfig(functions=("name_token",)))
+    records = [record("a", "Alpha Beta"), record("b", "Alpha Gamma"), record("c", "Alpha Beta")]
+    blocks = blocker.block(records)
+    stats = blocker.statistics(blocks)
+    assert stats["blocks"] == len(blocks) > 0
+    assert stats["candidate_pairs"] > 0
+    assert blocker.statistics([]) == {
+        "blocks": 0, "max_size": 0, "mean_size": 0.0, "candidate_pairs": 0
+    }
+
+
+def test_pair_generation_dedupes_and_skips_kg_kg():
+    blocker = Blocker(BlockingConfig(functions=("name_token", "name_prefix")))
+    records = [
+        record("src:1", "Robert Smith"),
+        record("src:2", "Robert Smith"),
+        record("kg:1", "Robert Smith", is_kg=True),
+        record("kg:2", "Robert Smith", is_kg=True),
+    ]
+    pairs = PairGenerator().generate(blocker.block(records))
+    keys = {pair.key for pair in pairs}
+    assert len(keys) == len(pairs)                      # dedupe across blocks
+    assert ("kg:1", "kg:2") not in keys                 # KG-KG skipped
+    assert any(pair.involves_kg for pair in pairs)
+
+
+def test_pair_generation_respects_max_pairs_and_type_compatibility():
+    blocker = Blocker(BlockingConfig(functions=("name_token",), partition_by_type=False))
+    records = [record(f"src:{i}", "Shared Name") for i in range(6)]
+    limited = PairGenerator(PairGenerationConfig(max_pairs=4)).generate(blocker.block(records))
+    assert len(limited) == 4
+
+    mixed = [record("a", "Madison", entity_type="city"),
+             record("b", "Madison", entity_type="person")]
+    pairs = PairGenerator(PairGenerationConfig(require_compatible_types=True)).generate(
+        blocker.block(mixed)
+    )
+    assert pairs == []

@@ -1,0 +1,125 @@
+"""Tests for matching models and features (repro.construction.matching)."""
+
+import pytest
+
+from repro.construction.matching import (
+    LearnedMatcher,
+    MatcherRegistry,
+    RuleBasedMatcher,
+    ScoredPair,
+    best_name_similarity,
+    date_agreement,
+    default_features,
+    feature_vector,
+    score_pairs,
+    shared_predicate_agreement,
+    type_compatibility,
+)
+from repro.construction.pairs import CandidatePair
+from repro.construction.records import LinkableRecord
+from repro.errors import LinkingError
+from repro.model.ontology import default_ontology
+
+
+def record(record_id, name, entity_type="person", is_kg=False, **props):
+    properties = {"name": [name] if isinstance(name, str) else list(name)}
+    for key, value in props.items():
+        properties[key] = value if isinstance(value, list) else [value]
+    return LinkableRecord(record_id=record_id, entity_type=entity_type,
+                          properties=properties, is_kg=is_kg)
+
+
+@pytest.fixture(scope="module")
+def onto():
+    return default_ontology()
+
+
+def test_name_features(onto):
+    same = (record("a", "Robert Smith"), record("b", ["Bob Smith", "Robert Smith"]))
+    different = (record("a", "Robert Smith"), record("c", "Velvet Dreams"))
+    assert best_name_similarity(*same) == 1.0
+    assert best_name_similarity(*different) < 0.6
+    assert best_name_similarity(record("x", []), record("y", "A")) == 0.0
+
+
+def test_shared_predicate_and_date_agreement():
+    left = record("a", "X", genre="pop", birth_date="1980-01-02")
+    right = record("b", "X", genre="pop", birth_date="1980-06-01")
+    unrelated = record("c", "X", genre="jazz", birth_date="1955")
+    assert shared_predicate_agreement(left, right) == 1.0
+    assert shared_predicate_agreement(left, unrelated) == 0.0
+    assert date_agreement(left, right) == 1.0
+    assert date_agreement(left, unrelated) == 0.0
+    assert date_agreement(record("d", "X"), right) == 0.0
+
+
+def test_type_compatibility_feature(onto):
+    feature = type_compatibility(onto)
+    artist = record("a", "X", entity_type="music_artist")
+    person = record("b", "X", entity_type="person")
+    movie = record("c", "X", entity_type="movie")
+    untyped = record("d", "X", entity_type="")
+    assert feature(artist, person) == 1.0
+    assert feature(artist, movie) == 0.0
+    assert feature(artist, untyped) == 0.5
+
+
+def test_rule_based_matcher_scores_are_calibrated(onto):
+    matcher = RuleBasedMatcher(default_features(onto))
+    exact = matcher.score(record("a", "Robert Smith", genre="pop"),
+                          record("b", "Robert Smith", genre="pop"))
+    fuzzy = matcher.score(record("a", "Robert Smith"), record("b", "Robret Smith"))
+    different = matcher.score(record("a", "Robert Smith"), record("b", "Velvet Dreams"))
+    assert 0.0 <= different < 0.5 < exact <= 1.0
+    assert different < fuzzy < exact
+
+
+def test_learned_matcher_fits_and_beats_chance(onto):
+    features = default_features(onto)
+    positives = [
+        (record(f"s:{i}", f"Artist {i}", genre="pop", birth_date="1980"),
+         record(f"k:{i}", f"Artist {i}", genre="pop", birth_date="1980", is_kg=True))
+        for i in range(10)
+    ]
+    negatives = [
+        (record(f"s:{i}", f"Artist {i}"), record(f"k:{i+50}", f"Other {i+50}", is_kg=True))
+        for i in range(10)
+    ]
+    pairs = positives + negatives
+    labels = [1] * 10 + [0] * 10
+    matcher = LearnedMatcher(features).fit(pairs, labels)
+    metrics = matcher.evaluate(pairs, labels)
+    assert metrics["f1"] > 0.8
+    assert matcher.score(*positives[0]) > matcher.score(*negatives[0])
+
+
+def test_learned_matcher_requires_fit_and_valid_data(onto):
+    matcher = LearnedMatcher(default_features(onto))
+    with pytest.raises(LinkingError):
+        matcher.score(record("a", "X"), record("b", "X"))
+    with pytest.raises(LinkingError):
+        matcher.fit([], [])
+    with pytest.raises(LinkingError):
+        matcher.fit([(record("a", "X"), record("b", "X"))], [1, 0])
+
+
+def test_feature_vector_shape(onto):
+    features = default_features(onto)
+    vector = feature_vector(features, record("a", "X"), record("b", "X"))
+    assert vector.shape == (len(features),)
+
+
+def test_matcher_registry_and_score_pairs(onto):
+    default = RuleBasedMatcher(default_features(onto))
+    strict = RuleBasedMatcher(default_features(onto), bias=-8.0)
+    registry = MatcherRegistry(default=default)
+    registry.register("movie", strict)
+    assert registry.matcher_for("movie") is strict
+    assert registry.matcher_for("person") is default
+
+    pair = CandidatePair(record("a", "Same Name"), record("b", "Same Name"))
+    movie_pair = CandidatePair(record("c", "Same Name", entity_type="movie"),
+                               record("d", "Same Name", entity_type="movie"))
+    scored = score_pairs([pair, movie_pair], registry)
+    assert isinstance(scored[0], ScoredPair)
+    assert scored[0].probability > scored[1].probability

@@ -1,0 +1,129 @@
+"""Tests for the synthetic world, noisy sources, streams, and text corpora."""
+
+import numpy as np
+
+from repro.datagen import (
+    LiveStreamGenerator,
+    SourceSpec,
+    StreamConfig,
+    TextCorpusConfig,
+    TextCorpusGenerator,
+    WorldConfig,
+    evolve_source,
+    generate_source,
+    generate_world,
+    world_to_store,
+)
+from repro.datagen.names import make_typo, person_aliases, synonym_lexicon
+
+
+def test_world_is_deterministic_and_typed(world):
+    again = generate_world(world.config)
+    assert len(again) == len(world)
+    assert again.of_type("music_artist")[0].name == world.of_type("music_artist")[0].name
+    assert set(world.types()) >= {"music_artist", "song", "album", "movie", "city",
+                                  "country", "sports_team"}
+    artist = world.of_type("music_artist")[0]
+    assert artist.facts["record_label"].startswith("truth:")
+    assert artist.relationships["educated_at"]
+    assert 0.0 <= artist.popularity <= 1.0
+
+
+def test_world_contains_ambiguous_city_names(world):
+    names = [city.name for city in world.of_type("city")]
+    assert len(names) > len(set(names)), "some city names must be shared for NERD ambiguity"
+
+
+def test_world_alias_groups_for_distant_supervision(world):
+    groups = world.alias_groups()
+    assert len(groups) == len(world)
+    assert any(len(group) > 1 for group in groups)
+
+
+def test_reference_store_matches_world(world, reference_store):
+    assert reference_store.entity_count() == len(world)
+    artist = world.of_type("music_artist")[0]
+    assert reference_store.value_of(artist.truth_id, "name") == artist.name
+    assert reference_store.value_of(artist.truth_id, "record_label") == artist.facts["record_label"]
+
+
+def test_generated_source_covers_and_maps_truth(world):
+    spec = SourceSpec(source_id="testsrc", entity_types=("music_artist",),
+                      coverage=1.0, duplicate_rate=0.5, seed=3)
+    source = generate_source(world, spec)
+    artists = world.of_type("music_artist")
+    assert len(source.entities) >= len(artists)
+    assert set(source.truth_map.values()) <= {a.truth_id for a in artists}
+    assert all(e.source_id == "testsrc" for e in source.entities)
+    assert source.truth_of(source.entities[0].entity_id) is not None
+    # references are rendered as names, not truth ids
+    labels = [e.properties.get("record_label") for e in source.entities
+              if "record_label" in e.properties]
+    assert labels and all(not str(label).startswith("truth:") for label in labels)
+
+
+def test_source_schema_map_renames_predicates(world):
+    spec = SourceSpec(source_id="m", entity_types=("movie",),
+                      schema_map={"name": "title", "genre": "category"}, seed=5)
+    source = generate_source(world, spec)
+    assert all("title" in e.properties for e in source.entities)
+    assert all("name" not in e.properties for e in source.entities)
+
+
+def test_evolve_source_produces_churn(world):
+    spec = SourceSpec(source_id="evo", entity_types=("music_artist", "song"),
+                      coverage=0.7, seed=11)
+    first = generate_source(world, spec)
+    second = evolve_source(world, first, added_fraction=0.5, updated_fraction=0.3,
+                           deleted_fraction=0.1)
+    assert second.snapshot == 1
+    first_ids = {e.entity_id for e in first.entities}
+    second_ids = {e.entity_id for e in second.entities}
+    assert second_ids - first_ids, "some entities should be added"
+    assert first_ids - second_ids, "some entities should be deleted"
+
+
+def test_live_stream_generator_produces_ordered_referenced_events(world):
+    generator = LiveStreamGenerator(world, StreamConfig(num_games=3, num_stocks=2,
+                                                        num_flights=2, seed=1))
+    events = generator.all_events()
+    assert events
+    timestamps = [e.timestamp for e in events]
+    assert timestamps == sorted(timestamps)
+    games = [e for e in events if e.entity_type == "sports_game"]
+    assert games
+    assert all(set(g.truth_references) >= {"home_team", "away_team"} for g in games)
+    assert all(g.references["home_team"] for g in games)
+    stocks = [e for e in events if e.entity_type == "stock"]
+    assert all("stock_price" in s.payload for s in stocks)
+    flights = [e for e in events if e.entity_type == "flight"]
+    assert all("flight_status" in f.payload for f in flights)
+
+
+def test_text_corpus_mentions_are_labelled_and_positioned(world):
+    passages = TextCorpusGenerator(world, TextCorpusConfig(num_passages=30, seed=2)).generate()
+    assert len(passages) == 30
+    for passage in passages:
+        mention = passage.mentions[0]
+        assert passage.text[mention.start:mention.end] == mention.mention
+        assert mention.truth_id in world.entities
+    head_flags = {passage.mentions[0].is_head for passage in passages}
+    assert head_flags == {True, False} or len(head_flags) == 1
+
+
+def test_name_noise_helpers():
+    rng = np.random.default_rng(0)
+    assert make_typo("Washington", rng) != "Washington"
+    assert make_typo("ab", rng) == "ab"
+    aliases = person_aliases("Robert", "Smith", rng)
+    assert any("Smith, Robert" == alias for alias in aliases)
+    lexicon = synonym_lexicon()
+    assert lexicon["bob"] == "robert"
+
+
+def test_world_config_scaling():
+    tiny = generate_world(WorldConfig(num_people=6, num_artists=2, num_actors=2,
+                                      num_athletes=1, num_movies=2, num_cities=4,
+                                      num_countries=2, seed=1))
+    assert len(tiny) < 120
+    assert tiny.of_type("music_artist")

@@ -1,0 +1,150 @@
+"""Tests for the view catalog, manager, dependencies, and incremental updates."""
+
+import pytest
+
+from repro.engine.views import ViewCatalog, ViewContext, ViewDefinition, ViewManager
+from repro.errors import ViewError
+
+
+def make_catalog_with_chain(calls):
+    """base -> shared -> (left, right); every create appends to *calls*."""
+    catalog = ViewCatalog()
+
+    def make_create(name, value):
+        def create(context):
+            calls.append(name)
+            return value
+        return create
+
+    catalog.register(ViewDefinition("base", "analytics", make_create("base", [1, 2, 3])))
+    catalog.register(ViewDefinition(
+        "shared", "analytics",
+        create=lambda ctx: (calls.append("shared"), len(ctx.artifact("base")))[1],
+        dependencies=("base",),
+    ))
+    catalog.register(ViewDefinition(
+        "left", "text_index",
+        create=lambda ctx: (calls.append("left"), ctx.artifact("shared") * 10)[1],
+        dependencies=("shared",),
+    ))
+    catalog.register(ViewDefinition(
+        "right", "vector_db",
+        create=lambda ctx: (calls.append("right"), ctx.artifact("shared") + 1)[1],
+        dependencies=("shared",),
+    ))
+    return catalog
+
+
+def test_catalog_registration_validates_dependencies_and_names():
+    catalog = ViewCatalog()
+    with pytest.raises(ViewError):
+        catalog.register(ViewDefinition("v", "analytics", lambda ctx: 1, dependencies=("missing",)))
+    with pytest.raises(ViewError):
+        ViewDefinition("", "analytics", lambda ctx: 1)
+    with pytest.raises(ViewError):
+        ViewDefinition("v", "analytics", create="not callable")  # type: ignore[arg-type]
+    catalog.register(ViewDefinition("v", "analytics", lambda ctx: 1))
+    assert "v" in catalog and len(catalog) == 1
+    with pytest.raises(ViewError):
+        catalog.get("other")
+
+
+def test_execution_order_is_topological():
+    calls = []
+    catalog = make_catalog_with_chain(calls)
+    order = catalog.execution_order()
+    assert order.index("base") < order.index("shared") < order.index("left")
+    targeted = catalog.execution_order(["left"])
+    assert targeted == ["base", "shared", "left"]
+    assert catalog.dependents_of("shared") == ["left", "right"]
+
+
+def test_materialize_with_reuse_builds_shared_views_once():
+    calls = []
+    catalog = make_catalog_with_chain(calls)
+    manager = ViewManager(catalog, engines={})
+    timings = manager.materialize(["left", "right"], reuse_shared=True)
+    assert calls.count("shared") == 1
+    assert calls.count("base") == 1
+    assert set(timings) == {"base", "shared", "left", "right"}
+    assert manager.artifact("left") == 30
+    assert manager.artifact("right") == 4
+
+
+def test_materialize_without_reuse_rebuilds_dependencies_per_target():
+    calls = []
+    catalog = make_catalog_with_chain(calls)
+    manager = ViewManager(catalog, engines={})
+    manager.materialize(["left", "right"], reuse_shared=False)
+    assert calls.count("shared") == 2
+    assert calls.count("base") == 2
+
+
+def test_incremental_update_prefers_update_procedure():
+    catalog = ViewCatalog()
+    update_calls = []
+    catalog.register(ViewDefinition(
+        "incremental", "analytics",
+        create=lambda ctx: {"built": True},
+        update=lambda ctx, changed: update_calls.append(list(changed)) or {"updated": True},
+    ))
+    rebuild_count = {"n": 0}
+
+    def rebuild(ctx):
+        rebuild_count["n"] += 1
+        return rebuild_count["n"]
+
+    catalog.register(ViewDefinition("full_rebuild", "analytics", create=rebuild))
+    manager = ViewManager(catalog, engines={})
+    manager.materialize()
+    manager.update(["kg:e1", "kg:e2"])
+    assert update_calls == [["kg:e1", "kg:e2"]]
+    assert manager.artifact("incremental") == {"updated": True}
+    assert rebuild_count["n"] == 2                      # no update proc -> rebuilt
+    assert manager.states["incremental"].incremental_updates == 1
+
+
+def test_artifact_of_unmaterialized_view_raises_and_drop_works():
+    catalog = ViewCatalog()
+    dropped = []
+    catalog.register(ViewDefinition("v", "analytics", lambda ctx: 42,
+                                    drop=lambda ctx: dropped.append("v")))
+    manager = ViewManager(catalog, engines={})
+    with pytest.raises(ViewError):
+        manager.artifact("v")
+    manager.materialize(["v"])
+    assert manager.is_materialized("v")
+    manager.drop("v")
+    assert dropped == ["v"]
+    assert not manager.is_materialized("v")
+
+
+def test_cycle_detection():
+    catalog = ViewCatalog()
+    catalog.register(ViewDefinition("a", "analytics", lambda ctx: 1))
+    catalog.register(ViewDefinition("b", "analytics", lambda ctx: 1, dependencies=("a",)))
+    # introduce a cycle by hand (register would prevent it normally)
+    catalog._definitions["a"] = ViewDefinition("a", "analytics", lambda ctx: 1, dependencies=("b",))
+    with pytest.raises(ViewError):
+        catalog.execution_order()
+
+
+def test_freshness_sla_detection(monkeypatch):
+    catalog = ViewCatalog()
+    catalog.register(ViewDefinition("fresh", "analytics", lambda ctx: 1, freshness_sla=3600))
+    catalog.register(ViewDefinition("no_sla", "analytics", lambda ctx: 1))
+    manager = ViewManager(catalog, engines={})
+    assert manager.stale_views() == ["fresh"]            # never materialized
+    manager.materialize()
+    assert manager.stale_views() == []
+    state = manager.states["fresh"]
+    assert manager.stale_views(now=state.last_built_at + 7200) == ["fresh"]
+
+
+def test_view_context_errors():
+    context = ViewContext(engines={"analytics": object()})
+    assert context.engine("analytics") is not None
+    with pytest.raises(ViewError):
+        context.engine("missing")
+    with pytest.raises(ViewError):
+        context.artifact("missing")

@@ -1,0 +1,89 @@
+"""Tests for data source importers (repro.ingestion.importers)."""
+
+import json
+
+import pytest
+
+from repro.errors import IngestionError
+from repro.ingestion.importers import (
+    CompositeImporter,
+    CSVImporter,
+    InMemoryImporter,
+    JSONImporter,
+    JSONLinesImporter,
+    make_importer,
+    register_importer,
+)
+
+
+def test_in_memory_importer_returns_copies():
+    rows = [{"id": "1", "name": "A"}]
+    importer = InMemoryImporter(rows)
+    read = importer.read()
+    read[0]["name"] = "mutated"
+    assert rows[0]["name"] == "A"
+
+
+def test_csv_importer_from_text():
+    importer = CSVImporter(text="id,name\n1,Alice\n2,Bob\n")
+    rows = importer.read()
+    assert rows == [{"id": "1", "name": "Alice"}, {"id": "2", "name": "Bob"}]
+
+
+def test_csv_importer_from_file(tmp_path):
+    path = tmp_path / "artists.csv"
+    path.write_text("id,name\n7,Charlie\n", encoding="utf-8")
+    rows = CSVImporter(path=path).read()
+    assert rows == [{"id": "7", "name": "Charlie"}]
+
+
+def test_csv_importer_missing_file_raises():
+    with pytest.raises(IngestionError):
+        CSVImporter(path="/nonexistent/file.csv").read()
+    with pytest.raises(IngestionError):
+        CSVImporter().read()
+
+
+def test_json_importer_accepts_list_and_wrapped_payloads():
+    rows = JSONImporter(text=json.dumps([{"id": 1}])).read()
+    assert rows == [{"id": 1}]
+    wrapped = JSONImporter(text=json.dumps({"entities": [{"id": 2}]})).read()
+    assert wrapped == [{"id": 2}]
+
+
+def test_json_importer_rejects_malformed_payloads():
+    with pytest.raises(IngestionError):
+        JSONImporter(text="not json").read()
+    with pytest.raises(IngestionError):
+        JSONImporter(text=json.dumps({"count": 3})).read()
+    with pytest.raises(IngestionError):
+        JSONImporter(text=json.dumps([1, 2, 3])).read()
+
+
+def test_jsonl_importer_skips_blank_lines():
+    text = '{"id": 1}\n\n{"id": 2}\n'
+    rows = JSONLinesImporter(text=text).read()
+    assert [row["id"] for row in rows] == [1, 2]
+
+
+def test_jsonl_importer_reports_bad_lines():
+    with pytest.raises(IngestionError):
+        JSONLinesImporter(text='{"id": 1}\nboom\n').read()
+
+
+def test_composite_importer_joins_on_key():
+    primary = InMemoryImporter([{"id": "a", "name": "Artist A"}, {"id": "b", "name": "Artist B"}])
+    popularity = InMemoryImporter([{"id": "a", "popularity": 0.9}])
+    rows = CompositeImporter(primary, [popularity], join_key="id").read()
+    by_id = {row["id"]: row for row in rows}
+    assert by_id["a"]["popularity"] == 0.9
+    assert "popularity" not in by_id["b"]
+
+
+def test_make_importer_and_registry():
+    importer = make_importer("memory", rows=[{"id": 1}])
+    assert importer.read() == [{"id": 1}]
+    with pytest.raises(IngestionError):
+        make_importer("parquet")
+    register_importer("constant", lambda: InMemoryImporter([{"id": "c"}]))
+    assert make_importer("constant").read() == [{"id": "c"}]

@@ -1,0 +1,90 @@
+"""Tests for the Entity Transform stage and its integrity checks."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.ingestion.transform import EntityTransformer
+
+
+def make_transformer(**kwargs):
+    defaults = dict(source_id="musicdb", id_column="id", type_column="kind",
+                    default_type="music_artist")
+    defaults.update(kwargs)
+    return EntityTransformer(**defaults)
+
+
+def test_transform_produces_entity_centric_records():
+    rows = [
+        {"id": "a1", "kind": "music_artist", "name": "Artist A", "genre": "pop"},
+        {"id": "a2", "kind": "music_artist", "name": "Artist B", "genre": "rock"},
+    ]
+    entities, report = make_transformer().transform(rows)
+    assert report.total == 2
+    assert report.passed == 2
+    assert [e.entity_id for e in entities] == ["musicdb:a1", "musicdb:a2"]
+    assert entities[0].entity_type == "music_artist"
+    assert entities[0].properties["genre"] == "pop"
+    assert entities[0].source_id == "musicdb"
+
+
+def test_missing_id_is_rejected():
+    rows = [{"id": "", "name": "No Id"}, {"name": "Still no id"}]
+    entities, report = make_transformer().transform(rows)
+    assert entities == []
+    assert report.rejected == 2
+    assert all("missing ID" in violation for violation in report.violations)
+
+
+def test_duplicate_ids_are_rejected():
+    rows = [{"id": "a1", "name": "X"}, {"id": "a1", "name": "Y"}]
+    transformer = make_transformer(row_grouper=lambda row: id(row))  # defeat grouping
+    entities, report = transformer.transform(rows)
+    assert len(entities) == 1
+    assert report.rejected == 1
+    assert any("duplicate" in violation for violation in report.violations)
+
+
+def test_entities_without_any_values_are_rejected():
+    rows = [{"id": "a1", "name": "", "genre": None}]
+    entities, report = make_transformer().transform(rows)
+    assert entities == []
+    assert any("no non-empty predicates" in violation for violation in report.violations)
+
+
+def test_declared_schema_predicates_are_always_present():
+    rows = [{"id": "a1", "name": "Artist A"}]
+    transformer = make_transformer(schema=("name", "genre", "record_label"))
+    entities, _ = transformer.transform(rows)
+    assert set(("genre", "record_label")).issubset(entities[0].properties)
+    assert entities[0].properties["genre"] is None
+
+
+def test_rows_sharing_an_id_are_merged_into_one_entity():
+    rows = [
+        {"id": "a1", "name": "Artist A"},
+        {"id": "a1", "genre": "pop"},
+        {"id": "a1", "genre": "indie"},
+    ]
+    entities, report = make_transformer().transform(rows)
+    assert report.total == 1
+    assert entities[0].properties["name"] == "Artist A"
+    assert sorted(entities[0].properties["genre"]) == ["indie", "pop"]
+
+
+def test_strict_mode_raises_on_violation():
+    transformer = make_transformer(strict=True)
+    with pytest.raises(IntegrityError):
+        transformer.transform([{"id": "", "name": "x"}])
+
+
+def test_qualified_ids_are_not_double_prefixed():
+    rows = [{"id": "musicdb:a1", "name": "Artist"}]
+    entities, _ = make_transformer().transform(rows)
+    assert entities[0].entity_id == "musicdb:a1"
+
+
+def test_values_are_cleaned():
+    rows = [{"id": "a1", "name": "  Artist  ", "tags": ["", " rock "]}]
+    entities, _ = make_transformer().transform(rows)
+    assert entities[0].properties["name"] == "Artist"
+    assert entities[0].properties["tags"] == ["rock"]

@@ -1,0 +1,92 @@
+"""Tests for the live KV store and inverted graph index."""
+
+import pytest
+
+from repro.errors import LiveGraphError
+from repro.live.index import GraphKVStore, InvertedGraphIndex, LiveEntityDocument, LiveIndex
+
+
+def doc(entity_id, name, entity_type="sports_game", timestamp=1, facts=None, refs=None,
+        is_live=True):
+    return LiveEntityDocument(
+        entity_id=entity_id, entity_type=entity_type, name=name,
+        facts=facts or {}, references=refs or {}, timestamp=timestamp, is_live=is_live,
+    )
+
+
+def test_document_value_accessors_and_merge():
+    document = doc("g1", "Game 1", facts={"home_score": [3]}, refs={"home_team": "kg:t1"})
+    assert document.value("home_score") == 3
+    assert document.value("home_team") == "kg:t1"
+    assert document.values("home_team") == ["kg:t1"]
+    newer = doc("g1", "Game 1", timestamp=5, facts={"home_score": [7]})
+    document.merge_update(newer)
+    assert document.value("home_score") == 7
+    stale = doc("g1", "Game 1", timestamp=2, facts={"home_score": [1]})
+    document.merge_update(stale)
+    assert document.value("home_score") == 7             # stale update ignored
+
+
+def test_kv_store_sharding_and_lookups():
+    store = GraphKVStore(num_shards=4)
+    for index in range(20):
+        store.put(doc(f"g{index}", f"Game {index}"))
+    assert len(store) == 20
+    assert sum(store.shard_sizes()) == 20
+    assert max(store.shard_sizes()) < 20                  # keys spread across shards
+    assert store.get("g3").name == "Game 3"
+    assert store.get("missing") is None
+    assert "g3" in store
+    assert len(store.by_type("sports_game")) == 20
+    assert store.delete("g3") is True
+    assert store.delete("g3") is False
+    with pytest.raises(LiveGraphError):
+        GraphKVStore(num_shards=0)
+
+
+def test_kv_store_put_merges_same_entity():
+    store = GraphKVStore()
+    store.put(doc("g1", "Game 1", facts={"home_score": [0]}))
+    store.put(doc("g1", "Game 1", timestamp=2, facts={"home_score": [5]}))
+    assert len(store) == 1
+    assert store.get("g1").value("home_score") == 5
+
+
+def test_kv_store_replication():
+    store = GraphKVStore()
+    store.put(doc("g1", "Game 1"))
+    replica = store.replicate()
+    replica.put(doc("g2", "Game 2"))
+    assert len(store) == 1 and len(replica) == 2
+    assert replica.get("g1").name == "Game 1"
+
+
+def test_inverted_index_name_and_value_lookup():
+    index = InvertedGraphIndex()
+    index.index_document(doc("g1", "Springfield Wolves vs Hanover Hawks",
+                             facts={"game_status": ["final"]},
+                             refs={"home_team": "kg:t1"}))
+    index.index_document(doc("t1", "Springfield Wolves", entity_type="sports_team"))
+    assert index.lookup_name("Springfield Wolves") == {"t1"}
+    assert index.search_name_tokens("springfield wolves") == {"g1", "t1"}
+    assert index.search_name_tokens("hanover hawks") == {"g1"}
+    assert index.search_name_tokens("unknown tokens") == set()
+    assert index.lookup_value("game_status", "FINAL") == {"g1"}
+    assert index.lookup_value("home_team", "kg:t1") == {"g1"}
+    index.remove("g1")
+    assert index.search_name_tokens("hanover hawks") == set()
+
+
+def test_live_index_maintains_both_structures():
+    live = LiveIndex(num_shards=2)
+    live.upsert(doc("g1", "Madison Arena game", facts={"home_score": [1]}))
+    assert len(live) == 1
+    assert live.get("g1").value("home_score") == 1
+    assert live.inverted.search_name_tokens("madison arena") == {"g1"}
+    # Updates re-index the merged document.
+    live.upsert(doc("g1", "Madison Arena game", timestamp=2, facts={"home_score": [9]}))
+    assert live.get("g1").value("home_score") == 9
+    assert live.delete("g1") is True
+    assert live.get("g1") is None
+    assert live.inverted.search_name_tokens("madison arena") == set()
+    assert live.upsert_many([doc("a", "A"), doc("b", "B")]) == 2

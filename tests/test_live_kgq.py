@@ -1,0 +1,132 @@
+"""Tests for the KGQ language: lexer, parser, virtual operators, planner."""
+
+import pytest
+
+from repro.errors import KGQPlanError, KGQSyntaxError
+from repro.live.kgq import (
+    CallQuery,
+    Condition,
+    Query,
+    VirtualOperatorRegistry,
+    default_virtual_operators,
+    parse,
+    tokenize,
+)
+from repro.live.planner import IndexLookup, QueryPlanner, TypeScan
+
+
+def test_tokenize_basic_query():
+    tokens = tokenize('MATCH person WHERE name = "Ada" LIMIT 5')
+    kinds = [token.kind for token in tokens]
+    assert kinds == ["ident", "ident", "ident", "ident", "op", "string", "ident", "number"]
+    with pytest.raises(KGQSyntaxError):
+        tokenize("MATCH person WHERE name = @bad")
+
+
+def test_parse_simple_match():
+    query = parse('MATCH country WHERE name = "Canada" RETURN head_of_state.name')
+    assert isinstance(query, Query)
+    assert query.entity_type == "country"
+    assert query.conditions == [Condition(("name",), "=", "Canada")]
+    assert query.returns == [("head_of_state", "name")]
+    assert query.limit is None
+
+
+def test_parse_multiple_conditions_returns_and_limit():
+    query = parse(
+        'MATCH sports_game WHERE home_team.name CONTAINS "Wolves" AND game_status = "final" '
+        "RETURN name, home_score, away_score LIMIT 3"
+    )
+    assert len(query.conditions) == 2
+    assert query.conditions[0].operator == "CONTAINS"
+    assert query.returns == [("name",), ("home_score",), ("away_score",)]
+    assert query.limit == 3
+
+
+def test_parse_numeric_and_comparison_conditions():
+    query = parse("MATCH stock WHERE stock_price > 100.5 RETURN *")
+    assert query.conditions[0].operator == ">"
+    assert query.conditions[0].value == pytest.approx(100.5)
+    assert query.returns == [()]
+
+
+def test_parse_call_query():
+    call = parse('CALL HeadOfState("Canada")')
+    assert isinstance(call, CallQuery)
+    assert call.operator == "HeadOfState"
+    assert call.arguments == ("Canada",)
+    multi = parse('CALL Something("a", 3, bare)')
+    assert multi.arguments == ("a", 3, "bare")
+
+
+@pytest.mark.parametrize("bad_query", [
+    "",
+    "MATCH",
+    "WHERE name = \"x\"",
+    "MATCH person WHERE",
+    "MATCH person WHERE name",
+    "MATCH person WHERE name LIKE \"x\"",
+    "MATCH person RETURN",
+    "MATCH person LIMIT many",
+    "MATCH person trailing garbage =",
+    "CALL Op(",
+])
+def test_parse_rejects_malformed_queries(bad_query):
+    with pytest.raises(KGQSyntaxError):
+        parse(bad_query)
+
+
+def test_query_render_roundtrip():
+    text = 'MATCH country WHERE name = "Canada" AND population > 1000 RETURN head_of_state.name LIMIT 2'
+    query = parse(text)
+    assert parse(query.render()) == query
+
+
+def test_virtual_operator_registry_expansion():
+    registry = default_virtual_operators()
+    assert "headofstate" in registry
+    expanded = registry.expand(CallQuery("HeadOfState", ("Canada",)))
+    assert expanded.entity_type == "country"
+    assert expanded.conditions[0].value == "Canada"
+    with pytest.raises(KGQSyntaxError):
+        registry.expand(CallQuery("Nonexistent", ()))
+    custom = VirtualOperatorRegistry()
+    custom.register("TeamVenue", lambda team: Query(
+        entity_type="sports_team",
+        conditions=[Condition(("name",), "=", team)],
+        returns=[("venue", "name")],
+    ))
+    assert custom.names() == ["teamvenue"]
+
+
+def test_planner_pushes_down_name_equality():
+    planner = QueryPlanner(default_virtual_operators())
+    plan = planner.plan(parse('MATCH country WHERE name = "Canada" AND population > 5 RETURN name'))
+    assert isinstance(plan.seed, IndexLookup)
+    assert plan.seed.predicate_path == ("name",)
+    assert len(plan.filters) == 1
+    assert "IndexLookup" in plan.explain()[0]
+
+
+def test_planner_falls_back_to_type_scan():
+    planner = QueryPlanner()
+    plan = planner.plan(parse('MATCH sports_game WHERE home_team.name CONTAINS "Wolves"'))
+    assert isinstance(plan.seed, TypeScan)
+    assert plan.seed.entity_type == "sports_game"
+    assert len(plan.filters) == 1
+
+
+def test_planner_expands_call_queries_and_validates():
+    planner = QueryPlanner(default_virtual_operators())
+    plan = planner.plan(parse('CALL MayorOf("Springfield")'))
+    assert plan.query.entity_type == "city"
+    with pytest.raises(KGQPlanError):
+        planner.plan(Query(entity_type=""))
+
+
+def test_planner_prefers_single_hop_equality_over_multi_hop():
+    planner = QueryPlanner()
+    query = parse('MATCH song WHERE performed_by.name = "X" AND genre = "pop"')
+    plan = planner.plan(query)
+    assert isinstance(plan.seed, IndexLookup)
+    assert plan.seed.predicate_path == ("genre",)

@@ -1,0 +1,97 @@
+"""Tests for the deterministic similarity library (repro.ml.similarity)."""
+
+import pytest
+
+from repro.ml import similarity as sim
+
+
+def test_normalize_and_tokens():
+    assert sim.normalize_string("  Hello   World ") == "hello world"
+    assert sim.normalize_string(None) == ""
+    assert sim.tokens("The Quick, Brown-Fox!") == ["the", "quick", "brown", "fox"]
+
+
+def test_qgrams_padding():
+    assert sim.qgrams("abc", q=2) == ["#a", "ab", "bc", "c#"]
+    assert sim.qgrams("", q=3) == []
+
+
+def test_levenshtein_distance_and_similarity():
+    assert sim.levenshtein_distance("kitten", "sitting") == 3
+    assert sim.levenshtein_similarity("kitten", "kitten") == 1.0
+    assert sim.levenshtein_similarity("kitten", "sitting") == pytest.approx(1 - 3 / 7)
+    assert sim.levenshtein_similarity("", "abc") == 0.0
+
+
+def test_jaro_winkler_prefers_shared_prefix():
+    assert sim.jaro_winkler_similarity("robert", "robert") == 1.0
+    martha = sim.jaro_winkler_similarity("martha", "marhta")
+    assert martha > 0.9
+    assert sim.jaro_winkler_similarity("abcd", "zyxw") < 0.3
+    # prefix boost: "rober" closer to "robert" than "tober"
+    assert sim.jaro_winkler_similarity("robert", "roberta") > sim.jaro_winkler_similarity(
+        "robert", "tobert"
+    )
+
+
+def test_hamming_similarity():
+    assert sim.hamming_similarity("abc", "abd") == pytest.approx(2 / 3)
+    assert sim.hamming_similarity("abc", "") == 0.0
+
+
+def test_jaccard_and_overlap():
+    assert sim.jaccard_similarity("the dark knight", "dark knight rises") == pytest.approx(2 / 4)
+    assert sim.overlap_coefficient("the dark knight", "dark knight") == 1.0
+    assert sim.jaccard_similarity("", "x") == 0.0
+
+
+def test_qgram_and_cosine_similarity_tolerate_typos():
+    assert sim.qgram_similarity("washington", "washingtno") > 0.6
+    assert sim.cosine_qgram_similarity("washington", "washingtno") > 0.6
+    assert sim.qgram_similarity("abc", "xyz") == 0.0
+
+
+def test_monge_elkan_handles_token_reordering():
+    assert sim.monge_elkan_similarity("smith, robert", "robert smith") > 0.9
+
+
+def test_set_similarity():
+    assert sim.set_similarity(["pop", "rock"], ["Rock", "jazz"]) == pytest.approx(1 / 3)
+    assert sim.set_similarity([], ["x"]) == 0.0
+
+
+def test_numeric_similarity():
+    assert sim.numeric_similarity(100, 100) == 1.0
+    assert sim.numeric_similarity(100, 104, tolerance=0.1) > 0.5
+    assert sim.numeric_similarity(100, 200, tolerance=0.1) == 0.0
+    assert sim.numeric_similarity("abc", 1) == 0.0
+
+
+def test_year_similarity_extracts_years_from_dates():
+    assert sim.year_similarity("1990-04-01", "1990") == 1.0
+    assert sim.year_similarity("1990", "1992", horizon=5) == pytest.approx(0.6)
+    assert sim.year_similarity("no year", "1990") == 0.0
+
+
+def test_exact_similarity():
+    assert sim.exact_similarity("The Beatles", "the  beatles") == 1.0
+    assert sim.exact_similarity("a", "b") == 0.0
+
+
+def test_soundex_codes_and_similarity():
+    assert sim.soundex("Robert") == sim.soundex("Rupert")
+    assert sim.soundex_similarity("Robert", "Rupert") == 1.0
+    assert sim.soundex_similarity("Robert", "Alice") == 0.0
+    assert sim.soundex("") == ""
+
+
+def test_similarity_profile_covers_registry():
+    profile = sim.similarity_profile("Robert Smith", "Bob Smith")
+    assert set(profile).issubset(set(sim.SIMILARITY_FUNCTIONS))
+    assert all(0.0 <= value <= 1.0 for value in profile.values())
+
+
+@pytest.mark.parametrize("name,function", sorted(sim.SIMILARITY_FUNCTIONS.items()))
+def test_all_functions_bounded_and_handle_none(name, function):
+    assert 0.0 <= function("alpha beta", "alpha gamma") <= 1.0
+    assert function(None, "x") == 0.0

@@ -1,0 +1,76 @@
+"""Tests for source delta computation (repro.model.delta)."""
+
+from repro.model.delta import SourceDelta, compute_delta
+from repro.model.entity import SourceEntity
+
+
+def entity(entity_id, name, popularity=None, extra=None):
+    properties = {"name": name}
+    if popularity is not None:
+        properties["popularity"] = popularity
+    if extra:
+        properties.update(extra)
+    return SourceEntity(entity_id=entity_id, entity_type="person",
+                        properties=properties, source_id="src")
+
+
+def test_initial_delta_is_full_added_payload():
+    entities = [entity("src:1", "A"), entity("src:2", "B")]
+    delta = SourceDelta.initial("src", entities)
+    assert delta.summary() == {"added": 2, "deleted": 0, "updated": 0, "volatile": 0}
+    assert not delta.is_empty()
+    assert delta.change_count() == 2
+    assert delta.touched_entity_ids() == {"src:1", "src:2"}
+
+
+def test_compute_delta_detects_added_deleted_updated():
+    previous = [entity("src:1", "A"), entity("src:2", "B"), entity("src:3", "C")]
+    current = [entity("src:1", "A"), entity("src:2", "B-updated"), entity("src:4", "D")]
+    delta = compute_delta("src", previous, current)
+    assert [e.entity_id for e in delta.added] == ["src:4"]
+    assert [e.entity_id for e in delta.deleted] == ["src:3"]
+    assert [e.entity_id for e in delta.updated] == ["src:2"]
+    assert delta.volatile == []
+
+
+def test_identical_snapshots_produce_empty_delta():
+    snapshot = [entity("src:1", "A"), entity("src:2", "B")]
+    delta = compute_delta("src", snapshot, [e.copy() for e in snapshot])
+    assert delta.is_empty()
+
+
+def test_volatile_predicates_do_not_trigger_updates():
+    previous = [entity("src:1", "A", popularity=0.5)]
+    current = [entity("src:1", "A", popularity=0.9)]
+    delta = compute_delta("src", previous, current, volatile_predicates=["popularity"])
+    assert delta.updated == []
+    assert len(delta.volatile) == 1
+    volatile_entity = delta.volatile[0]
+    assert volatile_entity.properties == {"popularity": 0.9}
+
+
+def test_volatile_dump_covers_all_current_entities():
+    previous = [entity("src:1", "A", popularity=0.5)]
+    current = [entity("src:1", "A", popularity=0.5), entity("src:2", "B", popularity=0.2)]
+    delta = compute_delta("src", previous, current, volatile_predicates=["popularity"])
+    assert {e.entity_id for e in delta.volatile} == {"src:1", "src:2"}
+    assert [e.entity_id for e in delta.added] == ["src:2"]
+
+
+def test_added_entities_are_stripped_of_volatile_predicates():
+    current = [entity("src:1", "A", popularity=0.7)]
+    delta = compute_delta("src", [], current, volatile_predicates=["popularity"])
+    assert "popularity" not in delta.added[0].properties
+
+
+def test_non_volatile_update_is_detected_alongside_volatile_change():
+    previous = [entity("src:1", "A", popularity=0.5)]
+    current = [entity("src:1", "A-renamed", popularity=0.6)]
+    delta = compute_delta("src", previous, current, volatile_predicates=["popularity"])
+    assert [e.entity_id for e in delta.updated] == ["src:1"]
+
+
+def test_timestamps_are_recorded():
+    delta = compute_delta("src", [], [entity("src:1", "A")], from_timestamp=3, to_timestamp=5)
+    assert delta.from_timestamp == 3
+    assert delta.to_timestamp == 5

@@ -1,0 +1,111 @@
+"""Tests for SourceEntity / KGEntity (repro.model.entity)."""
+
+import pytest
+
+from repro.errors import DataModelError
+from repro.model.entity import (
+    KGEntity,
+    RelationshipNode,
+    SourceEntity,
+    materialize_entities,
+)
+from repro.model.triples import TripleStore
+
+
+@pytest.fixture
+def person_entity():
+    return SourceEntity(
+        entity_id="wiki:person/1",
+        entity_type="person",
+        properties={
+            "name": "J. Smith",
+            "alias": ["John Smith"],
+            "occupation": ["researcher", "author"],
+            "birth_date": "1980-05-01",
+            "educated_at": [{"school": "UW", "degree": "PhD", "year": 2005}],
+        },
+        source_id="wiki",
+        trust=0.9,
+    )
+
+
+def test_source_entity_requires_id():
+    with pytest.raises(DataModelError):
+        SourceEntity(entity_id="")
+
+
+def test_values_and_relationships_accessors(person_entity):
+    assert person_entity.values("name") == ["J. Smith"]
+    assert person_entity.values("occupation") == ["researcher", "author"]
+    assert person_entity.values("educated_at") == []          # composite, not scalar
+    assert person_entity.relationships("educated_at") == [
+        {"school": "UW", "degree": "PhD", "year": 2005}
+    ]
+    assert person_entity.values("missing") == []
+    assert person_entity.names() == ["J. Smith", "John Smith"]
+    assert person_entity.primary_name() == "J. Smith"
+
+
+def test_to_triples_flattens_simple_and_composite_facts(person_entity):
+    triples = person_entity.to_triples()
+    by_predicate = {}
+    for triple in triples:
+        by_predicate.setdefault(triple.predicate, []).append(triple)
+    assert len(by_predicate["type"]) == 1
+    assert len(by_predicate["occupation"]) == 2
+    educated = by_predicate["educated_at"]
+    assert len(educated) == 3                 # school, degree, year
+    assert all(t.is_composite for t in educated)
+    assert len({t.relationship_id for t in educated}) == 1
+    assert all(t.sources == ["wiki"] for t in triples)
+
+
+def test_to_triples_of_same_entity_is_deterministic(person_entity):
+    first = [t.key() for t in person_entity.to_triples()]
+    second = [t.key() for t in person_entity.copy().to_triples()]
+    assert first == second
+
+
+def test_copy_is_deep(person_entity):
+    clone = person_entity.copy()
+    clone.properties["alias"].append("Johnny")
+    clone.properties["educated_at"][0]["degree"] = "MSc"
+    assert person_entity.properties["alias"] == ["John Smith"]
+    assert person_entity.properties["educated_at"][0]["degree"] == "PhD"
+
+
+def test_fingerprint_changes_with_content(person_entity):
+    base = person_entity.fingerprint()
+    clone = person_entity.copy()
+    assert clone.fingerprint() == base
+    clone.properties["birth_date"] = "1981-05-01"
+    assert clone.fingerprint() != base
+
+
+def test_relationship_node_overlap():
+    left = RelationshipNode("rel:1", "educated_at", {"school": "UW", "degree": "PhD"})
+    right = RelationshipNode("rel:2", "educated_at", {"school": "UW", "year": 2005})
+    disjoint = RelationshipNode("rel:3", "educated_at", {"school": "MIT"})
+    assert left.overlap(right) == pytest.approx(0.5)
+    assert left.overlap(disjoint) == 0.0
+    assert RelationshipNode("r", "p").overlap(left) == 0.0
+
+
+def test_kg_entity_from_triples(person_entity):
+    store = TripleStore(person_entity.to_triples())
+    entity = KGEntity.from_triples("wiki:person/1", store.facts_about("wiki:person/1"))
+    assert entity.primary_name == "J. Smith"
+    assert "person" in entity.types
+    assert set(entity.facts["occupation"]) == {"researcher", "author"}
+    assert "educated_at" in entity.relationships
+    node = entity.relationships["educated_at"][0]
+    assert node.facts["school"] == "UW"
+    assert entity.degree() >= 5
+    assert entity.value("birth_date") == "1980-05-01"
+    assert entity.value("missing") is None
+
+
+def test_materialize_entities(person_entity):
+    store = TripleStore(person_entity.to_triples())
+    entities = materialize_entities(store)
+    assert set(entities) == {"wiki:person/1"}

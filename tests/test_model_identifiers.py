@@ -1,0 +1,76 @@
+"""Tests for identifier management (repro.model.identifiers)."""
+
+import pytest
+
+from repro.errors import DataModelError
+from repro.model.identifiers import (
+    IdGenerator,
+    content_hash,
+    is_kg_identifier,
+    qualify,
+    relationship_id,
+    split_identifier,
+)
+
+
+def test_qualify_joins_namespace_and_local_id():
+    assert qualify("musicdb", "artist/42") == "musicdb:artist/42"
+
+
+def test_qualify_rejects_empty_parts():
+    with pytest.raises(DataModelError):
+        qualify("", "x")
+    with pytest.raises(DataModelError):
+        qualify("ns", "")
+
+
+def test_split_identifier_roundtrip():
+    namespace, local = split_identifier("wiki:Q42")
+    assert namespace == "wiki"
+    assert local == "Q42"
+
+
+def test_split_identifier_rejects_malformed():
+    with pytest.raises(DataModelError):
+        split_identifier("no-namespace")
+    with pytest.raises(DataModelError):
+        split_identifier(":empty")
+
+
+def test_is_kg_identifier():
+    assert is_kg_identifier("kg:e00000001")
+    assert not is_kg_identifier("musicdb:artist/1")
+
+
+def test_content_hash_is_deterministic_and_order_sensitive():
+    assert content_hash("a", "b") == content_hash("a", "b")
+    assert content_hash("a", "b") != content_hash("b", "a")
+    assert len(content_hash("a")) == 16
+
+
+def test_id_generator_mints_sequential_ids():
+    generator = IdGenerator()
+    first = generator.next_id()
+    second = generator.next_id()
+    assert first == "kg:e00000001"
+    assert second == "kg:e00000002"
+
+
+def test_id_generator_is_deterministic_across_instances():
+    a = IdGenerator()
+    b = IdGenerator()
+    assert [a.next_id() for _ in range(3)] == [b.next_id() for _ in range(3)]
+
+
+def test_id_generator_custom_namespace_and_start():
+    generator = IdGenerator(namespace="test", prefix="x", width=3, start=7)
+    assert generator.next_id() == "test:x007"
+
+
+def test_relationship_id_is_deterministic():
+    first = relationship_id("kg:e1", "educated_at", "school=UW")
+    second = relationship_id("kg:e1", "educated_at", "school=UW")
+    other = relationship_id("kg:e1", "educated_at", "school=MIT")
+    assert first == second
+    assert first != other
+    assert first.startswith("rel:")

@@ -1,0 +1,104 @@
+"""Tests for the ontology (repro.model.ontology)."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.model.ontology import (
+    Cardinality,
+    Ontology,
+    ValueKind,
+    default_ontology,
+)
+
+
+@pytest.fixture
+def small_ontology():
+    onto = Ontology()
+    onto.add_type("person")
+    onto.add_type("music_artist", parent="person")
+    onto.add_type("place")
+    onto.add_predicate("name")
+    onto.add_predicate("birth_date", cardinality=Cardinality.SINGLE, domain=("person",))
+    onto.add_predicate(
+        "birth_place", ValueKind.REFERENCE, Cardinality.SINGLE,
+        domain=("person",), range_types=("place",),
+    )
+    onto.add_predicate("popularity", volatile=True)
+    return onto
+
+
+def test_add_type_requires_known_parent(small_ontology):
+    with pytest.raises(OntologyError):
+        small_ontology.add_type("song", parent="creative_work")
+    with pytest.raises(OntologyError):
+        small_ontology.add_type("")
+
+
+def test_add_predicate_validates_referenced_types(small_ontology):
+    with pytest.raises(OntologyError):
+        small_ontology.add_predicate("bad", domain=("nonexistent",))
+
+
+def test_lookups_and_errors(small_ontology):
+    assert small_ontology.has_type("person")
+    assert not small_ontology.has_type("movie")
+    assert small_ontology.has_predicate("name")
+    with pytest.raises(OntologyError):
+        small_ontology.type("movie")
+    with pytest.raises(OntologyError):
+        small_ontology.predicate("missing")
+
+
+def test_hierarchy_queries(small_ontology):
+    assert small_ontology.ancestors("music_artist") == ["person", "entity"]
+    assert small_ontology.is_subtype("music_artist", "person")
+    assert small_ontology.is_subtype("person", "person")
+    assert not small_ontology.is_subtype("person", "music_artist")
+    assert small_ontology.common_supertype("music_artist", "person") == "person"
+    assert small_ontology.common_supertype("music_artist", "place") == "entity"
+
+
+def test_compatible_types(small_ontology):
+    assert small_ontology.compatible_types("music_artist", "person")
+    assert small_ontology.compatible_types("person", "music_artist")
+    assert not small_ontology.compatible_types("person", "place")
+    # unknown types fall back to equality
+    assert small_ontology.compatible_types("alien", "alien")
+    assert not small_ontology.compatible_types("alien", "person")
+
+
+def test_predicates_for_type(small_ontology):
+    names = [spec.name for spec in small_ontology.predicates_for_type("music_artist")]
+    assert "birth_date" in names        # inherited through the hierarchy
+    assert "name" in names              # domain-free predicate applies to all
+
+
+def test_volatile_predicates(small_ontology):
+    assert small_ontology.volatile_predicates() == {"popularity"}
+
+
+def test_validate_fact(small_ontology):
+    assert small_ontology.validate_fact("person", "birth_date") == []
+    assert small_ontology.validate_fact("place", "birth_date") != []
+    assert small_ontology.validate_fact("person", "unknown_pred") != []
+    # functional predicate with an existing value
+    violations = small_ontology.validate_fact("person", "birth_date", existing_value_count=1)
+    assert any("functional" in v for v in violations)
+
+
+def test_copy_is_independent(small_ontology):
+    clone = small_ontology.copy()
+    clone.add_type("movie")
+    assert not small_ontology.has_type("movie")
+
+
+def test_default_ontology_is_rich():
+    onto = default_ontology()
+    assert onto.has_type("music_artist")
+    assert onto.has_type("sports_game")
+    assert onto.has_predicate("educated_at")
+    assert onto.predicate("educated_at").value_kind is ValueKind.COMPOSITE
+    assert onto.predicate("birth_place").value_kind is ValueKind.REFERENCE
+    assert "popularity" in onto.volatile_predicates()
+    assert "home_score" in onto.volatile_predicates()
+    assert onto.is_subtype("song", "creative_work")
