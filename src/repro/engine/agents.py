@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.engine.log import LogRecord, OperationLog
 from repro.engine.metadata import MetadataStore
@@ -73,6 +74,20 @@ class AgentCoordinator:
         self.object_store = object_store
         self.metadata = metadata
         self.agents: dict[str, OrchestrationAgent] = {}
+        self.progress_listeners: list[Callable[[LogRecord, object], None]] = []
+        self.listener_errors: list[str] = []
+        self._delivered_lsn = 0
+
+    def add_progress_listener(self, listener: Callable[[LogRecord, object], None]) -> None:
+        """Call *listener* with each record once every store has applied it.
+
+        Listeners see records strictly in LSN order and exactly once, and only
+        after the minimum watermark across all registered agents has passed
+        the record — i.e. when every store is consistent with it.  Derived
+        maintenance (view deltas) hangs off this hook so it never reads a
+        store that has not replayed the operation yet.
+        """
+        self.progress_listeners.append(listener)
 
     def register(self, agent: OrchestrationAgent) -> OrchestrationAgent:
         """Register an agent; its watermark starts at 0 (full replay)."""
@@ -119,7 +134,29 @@ class AgentCoordinator:
             report.applied[name] = applied
             if failed:
                 report.failed[name] = failed
+        self._notify_progress()
         return report
+
+    def _notify_progress(self) -> None:
+        if not self.progress_listeners or not self.agents:
+            return
+        fully_applied = min(self.metadata.watermark(name) for name in self.agents)
+        if fully_applied <= self._delivered_lsn:
+            return
+        for record in self.log.read_from(self._delivered_lsn):
+            if record.lsn > fully_applied:
+                break
+            payload = (
+                self.object_store.get(record.payload_key) if record.payload_key else None
+            )
+            for listener in self.progress_listeners:
+                try:
+                    listener(record, payload)
+                except Exception as exc:  # noqa: BLE001 - replay already committed
+                    # Stores applied this record; a derived-maintenance error
+                    # must neither unwind replay nor cause redelivery.
+                    self.listener_errors.append(f"lsn={record.lsn}: {exc}")
+            self._delivered_lsn = record.lsn
 
     def freshness(self) -> dict[str, int]:
         """Per-store lag behind the log head, in operations."""

@@ -135,6 +135,7 @@ class GraphEngine:
         ontology: Ontology,
         log_path: str | None = None,
         embedding_dimension: int = 32,
+        view_batch_size: int | None = None,
     ) -> None:
         self.ontology = ontology
         self.triples = TripleStore()
@@ -151,7 +152,16 @@ class GraphEngine:
         self.coordinator.register(EntityStoreAgent(self.entity_store, self.triples))
         self.coordinator.register(TextIndexAgent(self.text_index, self.triples))
         self.view_catalog = ViewCatalog()
-        self.view_manager = ViewManager(self.view_catalog, self._engine_map())
+        # Views read the replayed stores, so their builds reflect the minimum
+        # store watermark — not the log head, which may be ahead of replay.
+        self.view_manager = ViewManager(
+            self.view_catalog,
+            self._engine_map(),
+            metadata=self.metadata,
+            lsn_source=self.metadata.minimum_watermark,
+            batch_size=view_batch_size,
+        )
+        self.coordinator.add_progress_listener(self._on_log_progress)
         self.importance = EntityImportance()
         self.stats = EngineStats()
 
@@ -263,13 +273,48 @@ class GraphEngine:
         """Materialize views (optionally only *targets*); returns per-view seconds."""
         return self.view_manager.materialize(targets, reuse_shared=reuse_shared)
 
-    def update_views(self, changed_entity_ids: Sequence[str]) -> dict[str, float]:
-        """Incrementally maintain materialized views for the changed entities."""
-        return self.view_manager.update(changed_entity_ids)
+    def update_views(
+        self,
+        changed_entity_ids: Sequence[str] | None = None,
+        selective: bool = True,
+    ) -> dict[str, float]:
+        """Maintain materialized views for the changed entities.
+
+        With no argument, flushes the changed-entity delta accumulated from
+        log replay (selective, batched maintenance).  With an explicit id
+        list, maintenance runs immediately; ``selective=False`` rebuilds every
+        materialized view regardless of scope (the pre-selective behavior,
+        kept for A/B measurement).
+        """
+        if changed_entity_ids is None:
+            return self.view_manager.flush()
+        return self.view_manager.update(
+            changed_entity_ids, lsn=self.metadata.minimum_watermark(), selective=selective
+        )
+
+    def drop_view(self, name: str, cascade: bool = True) -> list[str]:
+        """Drop a view's materialization, cascading invalidation to dependents."""
+        return self.view_manager.drop(name, cascade=cascade)
+
+    def view_freshness(self) -> dict[str, int]:
+        """Per-view lag (in log positions) behind the operation-log head."""
+        return self.view_manager.lagging_views(self.log.head_lsn())
 
     def view_artifact(self, name: str) -> object:
         """Return the materialized artifact of a registered view."""
         return self.view_manager.artifact(name)
+
+    def _on_log_progress(self, record: LogRecord, payload: object) -> None:
+        """Feed fully-replayed operations to the view manager as deltas."""
+        if record.operation == "ingest_delta" and isinstance(payload, dict):
+            self.view_manager.enqueue(
+                payload.get("subjects", []),
+                lsn=record.lsn,
+                deleted_entity_ids=payload.get("deleted", []),
+            )
+        else:
+            # changed-entity set unknown (e.g. remove_source): full refresh
+            self.view_manager.mark_full_refresh(record.lsn)
 
     def register_standard_views(self) -> list[str]:
         """Register the production-style view dependency graph of Figure 7.

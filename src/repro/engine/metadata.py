@@ -4,6 +4,11 @@ Every orchestration agent records the LSN of the latest operation it has
 successfully replayed.  Consumers use these watermarks to determine whether a
 store serves at least some minimum version of the KG before routing a query
 to it.
+
+Materialized views carry watermarks too — the log position their artifact
+reflects — but in a separate namespace: view freshness must not drag down
+:meth:`MetadataStore.minimum_watermark`, which answers "what KG version does
+every *store* serve" regardless of which views happen to be materialized.
 """
 
 from __future__ import annotations
@@ -11,11 +16,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+class WatermarkMap(dict):
+    """Monotonic name → LSN map; the one freshness primitive every layer shares.
+
+    Store replay progress, view build positions, and live-index feed versions
+    all track "this consumer reflects the log up to LSN n" — same advance-if-
+    greater, default-zero, lag-versus-head semantics.
+    """
+
+    def advance(self, name: str, lsn: int) -> None:
+        """Record that *name* reached *lsn*; watermarks never move backwards."""
+        if lsn > self.get(name, 0):
+            self[name] = lsn
+
+    def of(self, name: str) -> int:
+        """The LSN *name* has reached (0 when unknown)."""
+        return self.get(name, 0)
+
+    def lagging(self, head_lsn: int) -> dict[str, int]:
+        """Entries behind *head_lsn* and how many log positions behind."""
+        return {
+            name: head_lsn - lsn for name, lsn in self.items() if lsn < head_lsn
+        }
+
+
 @dataclass
 class MetadataStore:
     """Track per-store replay progress and arbitrary platform metadata."""
 
-    watermarks: dict[str, int] = field(default_factory=dict)
+    watermarks: WatermarkMap = field(default_factory=WatermarkMap)
+    view_marks: WatermarkMap = field(default_factory=WatermarkMap)
     annotations: dict[str, dict] = field(default_factory=dict)
 
     # -------------------------------------------------------------- #
@@ -23,13 +53,11 @@ class MetadataStore:
     # -------------------------------------------------------------- #
     def update_watermark(self, store_name: str, lsn: int) -> None:
         """Record that *store_name* has replayed operations up to *lsn*."""
-        current = self.watermarks.get(store_name, 0)
-        if lsn > current:
-            self.watermarks[store_name] = lsn
+        self.watermarks.advance(store_name, lsn)
 
     def watermark(self, store_name: str) -> int:
         """Return the replay watermark of *store_name* (0 when unknown)."""
-        return self.watermarks.get(store_name, 0)
+        return self.watermarks.of(store_name)
 
     def minimum_watermark(self) -> int:
         """The KG version every registered store has reached."""
@@ -43,11 +71,26 @@ class MetadataStore:
 
     def lagging_stores(self, head_lsn: int) -> dict[str, int]:
         """Stores behind *head_lsn* and how far behind they are."""
-        return {
-            name: head_lsn - lsn
-            for name, lsn in self.watermarks.items()
-            if lsn < head_lsn
-        }
+        return self.watermarks.lagging(head_lsn)
+
+    # -------------------------------------------------------------- #
+    # view watermarks
+    # -------------------------------------------------------------- #
+    def update_view_watermark(self, view_name: str, lsn: int) -> None:
+        """Record that view *view_name* reflects the log up to *lsn*."""
+        self.view_marks.advance(view_name, lsn)
+
+    def view_watermark(self, view_name: str) -> int:
+        """The log position *view_name*'s artifact reflects (0 when unknown)."""
+        return self.view_marks.of(view_name)
+
+    def clear_view_watermark(self, view_name: str) -> None:
+        """Forget a view's watermark (the view was dropped or redefined)."""
+        self.view_marks.pop(view_name, None)
+
+    def lagging_view_watermarks(self, head_lsn: int) -> dict[str, int]:
+        """Views behind *head_lsn* and how many log positions behind they are."""
+        return self.view_marks.lagging(head_lsn)
 
     # -------------------------------------------------------------- #
     # annotations

@@ -1,4 +1,4 @@
-"""KG views: catalog, dependency graph, materialization, incremental updates.
+"""KG views: catalog, dependency graph, and selective, LSN-tracked maintenance.
 
 Section 3.2: a view is *any* transformation of the graph — subgraph views,
 schematized relational views, aggregates, iterative algorithms (PageRank), or
@@ -9,6 +9,42 @@ catalog with their dependencies; the View Manager coordinates execution over
 the dependency graph, which enables the 26% runtime saving from reusing shared
 intermediate views reported in the paper (the VIEWDEP benchmark re-measures
 this effect).
+
+Maintenance model
+-----------------
+
+The manager maintains views *selectively* and *change-driven* rather than
+rebuilding every materialized view on any update:
+
+* **Affected closure.**  Each :class:`ViewDefinition` may declare an entity
+  ``scope`` predicate.  Given a batch of changed entity ids, a root view is
+  affected only when the batch intersects its scope (no scope means
+  "affected by any change"); a dependent view is affected when any of its
+  dependencies is affected or its own scope matches.  Only the affected
+  closure is rebuilt, in topological order, with fresh artifacts propagated
+  downward through :attr:`ViewContext.artifacts`.
+
+* **LSN watermarks.**  Every :class:`ViewState` records ``built_at_lsn`` — the
+  operation-log position its artifact reflects.  Staleness is therefore
+  measured in log positions (how many operations behind the log head), not
+  wall-clock seconds; the wall-clock ``freshness_sla`` remains as an
+  orthogonal serving-side SLA.  Watermarks are mirrored into the platform
+  :class:`~repro.engine.metadata.MetadataStore` when one is attached, so
+  consumers can route reads with the same freshness machinery they use for
+  stores.
+
+* **Batched deltas.**  Changed-entity deltas accumulate in a pending batch
+  (fed by the Graph Engine's log-replay progress) and flush either explicitly
+  or automatically once ``batch_size`` distinct entities are pending.  A view
+  outside the affected closure of a flush only has its watermark advanced and
+  its ``skipped_updates`` counter bumped — the proof of work avoided.
+
+* **Lifecycle safety.**  ``drop`` cascades invalidation to transitive
+  dependents so no dependent keeps serving an artifact built from a dropped
+  view; re-registering a view resets the runtime state of the view and its
+  dependents in every attached manager; and maintenance fails fast with a
+  :class:`~repro.errors.ViewError` when a dependent would be rebuilt on top
+  of a dependency that has never been materialized.
 """
 
 from __future__ import annotations
@@ -19,6 +55,7 @@ from typing import Callable, Iterable, Sequence
 
 import networkx as nx
 
+from repro.engine.metadata import MetadataStore
 from repro.errors import ViewError
 
 
@@ -54,11 +91,12 @@ class ViewContext:
 CreateProcedure = Callable[[ViewContext], object]
 UpdateProcedure = Callable[[ViewContext, list[str]], object]
 DropProcedure = Callable[[ViewContext], None]
+ScopePredicate = Callable[[str], bool]
 
 
 @dataclass
 class ViewDefinition:
-    """A registered view: procedures plus dependency and SLA metadata."""
+    """A registered view: procedures plus dependency, scope, and SLA metadata."""
 
     name: str
     engine: str
@@ -66,6 +104,7 @@ class ViewDefinition:
     update: UpdateProcedure | None = None
     drop: DropProcedure | None = None
     dependencies: tuple[str, ...] = ()
+    scope: ScopePredicate | None = None    # entity-id predicate for selectivity
     freshness_sla: float | None = None     # seconds of staleness tolerated
     description: str = ""
 
@@ -74,6 +113,14 @@ class ViewDefinition:
             raise ViewError("view name must be non-empty")
         if not callable(self.create):
             raise ViewError(f"view {self.name!r} needs a callable create procedure")
+        if self.scope is not None and not callable(self.scope):
+            raise ViewError(f"view {self.name!r} scope must be callable")
+
+    def affected_by(self, changed_entity_ids: Sequence[str]) -> bool:
+        """Whether a batch of changed entities intersects this view's scope."""
+        if self.scope is None:
+            return True
+        return any(self.scope(entity_id) for entity_id in changed_entity_ids)
 
 
 @dataclass
@@ -84,8 +131,12 @@ class ViewState:
     artifact: object = None
     last_built_at: float = 0.0
     last_build_seconds: float = 0.0
+    built_at_lsn: int = 0          # operation-log position the artifact reflects
     builds: int = 0
     incremental_updates: int = 0
+    skipped_updates: int = 0       # flushes that proved no rebuild was needed
+    invalidations: int = 0         # cascade invalidations (drop / re-register)
+    revision: int = 0              # bumped when state is recreated (redefinition)
 
 
 class ViewCatalog:
@@ -93,15 +144,48 @@ class ViewCatalog:
 
     def __init__(self) -> None:
         self._definitions: dict[str, ViewDefinition] = {}
+        self._managers: list["ViewManager"] = []
 
-    def register(self, definition: ViewDefinition) -> ViewDefinition:
-        """Register a view; dependencies must already be registered."""
+    def attach(self, manager: "ViewManager") -> None:
+        """Attach a manager so lifecycle events can reset its runtime state."""
+        if manager not in self._managers:
+            self._managers.append(manager)
+
+    def register(self, definition: ViewDefinition, replace: bool = True) -> ViewDefinition:
+        """Register a view; dependencies must already be registered.
+
+        Re-registering an existing name with ``replace=True`` (the default)
+        swaps the definition and resets the runtime state of the view *and*
+        of every transitive dependent in all attached managers — stale state
+        built against the old definition must never survive.  With
+        ``replace=False`` re-registration is rejected outright.
+        """
         for dependency in definition.dependencies:
-            if dependency not in self._definitions:
+            if dependency != definition.name and dependency not in self._definitions:
                 raise ViewError(
                     f"view {definition.name!r} depends on unknown view {dependency!r}"
                 )
+        existing = self._definitions.get(definition.name)
+        if existing is None:
+            self._definitions[definition.name] = definition
+            if not nx.is_directed_acyclic_graph(self.dependency_graph()):
+                del self._definitions[definition.name]
+                raise ViewError(
+                    f"registering view {definition.name!r} would create a dependency cycle"
+                )
+            return definition
+        if not replace:
+            raise ViewError(f"view {definition.name!r} is already registered")
+        old_dependents = self.dependents_of(definition.name)
         self._definitions[definition.name] = definition
+        if not nx.is_directed_acyclic_graph(self.dependency_graph()):
+            self._definitions[definition.name] = existing
+            raise ViewError(
+                f"re-registering view {definition.name!r} would create a dependency cycle"
+            )
+        affected = {definition.name, *old_dependents, *self.dependents_of(definition.name)}
+        for manager in self._managers:
+            manager.reset_views(affected)
         return definition
 
     def get(self, name: str) -> ViewDefinition:
@@ -148,6 +232,21 @@ class ViewCatalog:
             return []
         return sorted(nx.descendants(graph, name))
 
+    def affected_closure(self, changed_entity_ids: Sequence[str]) -> list[str]:
+        """Views whose scope matches the changed entities, plus all dependents.
+
+        Returned in topological order; views with no declared scope are
+        conservatively considered affected by any change.
+        """
+        affected: set[str] = set()
+        for name in self.execution_order():
+            definition = self.get(name)
+            if any(dep in affected for dep in definition.dependencies) or (
+                definition.affected_by(changed_entity_ids)
+            ):
+                affected.add(name)
+        return [name for name in self.execution_order() if name in affected]
+
     def __contains__(self, name: object) -> bool:
         return name in self._definitions
 
@@ -156,12 +255,42 @@ class ViewCatalog:
 
 
 class ViewManager:
-    """Materialize and maintain views over the Graph Engine's stores."""
+    """Materialize and selectively maintain views over the engine's stores.
 
-    def __init__(self, catalog: ViewCatalog, engines: dict[str, object]) -> None:
+    ``lsn_source`` (usually the operation log's ``head_lsn``) stamps every
+    build with the log position it reflects; ``metadata`` mirrors the per-view
+    watermarks into the platform metadata store; ``batch_size`` turns on
+    automatic flushing of the pending changed-entity delta.
+    """
+
+    def __init__(
+        self,
+        catalog: ViewCatalog,
+        engines: dict[str, object],
+        metadata: MetadataStore | None = None,
+        lsn_source: Callable[[], int] | None = None,
+        batch_size: int | None = None,
+    ) -> None:
+        if batch_size is not None and batch_size <= 0:
+            raise ViewError("view maintenance batch_size must be positive")
         self.catalog = catalog
         self.engines = engines
+        self.metadata = metadata
+        self.lsn_source = lsn_source
+        self.batch_size = batch_size
         self.states: dict[str, ViewState] = {}
+        self.flushes = 0
+        self.deltas_observed = 0
+        self._pending: set[str] = set()
+        self._pending_deleted: set[str] = set()
+        self._pending_lsn = 0
+        self._pending_forced = False
+        self._pending_full = False
+        self._pending_rebuild = False
+        self._revision_counter = 0
+        self._local_lsn = 0
+        self.delta_lsn = 0          # highest LSN whose delta has been observed
+        catalog.attach(self)
 
     # -------------------------------------------------------------- #
     # materialization
@@ -200,53 +329,268 @@ class ViewManager:
         artifact = definition.create(context)
         elapsed = time.perf_counter() - started
         context.artifacts[name] = artifact
-        state = self.states.setdefault(name, ViewState())
+        state = self.states.get(name)
+        if state is None:
+            # A fresh revision distinguishes "same LSN, new definition" for
+            # consumers caching by log position (e.g. the live serving layer).
+            self._revision_counter += 1
+            state = ViewState(revision=self._revision_counter)
+            self.states[name] = state
         state.materialized = True
         state.artifact = artifact
         state.last_built_at = time.time()
         state.last_build_seconds = elapsed
+        state.built_at_lsn = max(state.built_at_lsn, self.current_lsn())
         state.builds += 1
+        self._record_watermark(name, state)
         return elapsed
 
     # -------------------------------------------------------------- #
     # incremental maintenance
     # -------------------------------------------------------------- #
-    def update(self, changed_entity_ids: Sequence[str]) -> dict[str, float]:
-        """Incrementally update every materialized view for the changed entities.
+    def enqueue(
+        self,
+        changed_entity_ids: Iterable[str],
+        lsn: int | None = None,
+        deleted_entity_ids: Iterable[str] = (),
+    ) -> dict[str, float]:
+        """Accumulate a changed-entity delta for a later (or automatic) flush.
 
-        Views without an ``update`` procedure are rebuilt from scratch, which
-        is the fallback the paper allows for non-incrementally-maintainable
-        views (e.g. iterative algorithms).
+        *deleted_entity_ids* must name entities removed from the stores: a
+        scope predicate that consults the store can no longer classify them,
+        so deletions conservatively widen the next flush to every
+        materialized view (they still reach ``update`` procedures as part of
+        the changed list).  Returns flush timings when the pending batch
+        reached ``batch_size`` and auto-flushed, an empty dict otherwise.
+        Deltas observed before any view is materialized are dropped: the
+        initial ``create`` reads current store state, so those changes are
+        already covered.
         """
+        observed = int(lsn) if lsn is not None else self.current_lsn()
+        self.delta_lsn = max(self.delta_lsn, observed)
+        if not self._has_materialized():
+            return {}
+        self._pending.update(changed_entity_ids)
+        deleted = set(deleted_entity_ids)
+        self._pending.update(deleted)
+        self._pending_deleted.update(deleted)
+        self._pending_lsn = max(self._pending_lsn, observed)
+        self.deltas_observed += 1
+        if self.batch_size is not None and len(self._pending) >= self.batch_size:
+            return self.flush()
+        return {}
+
+    def mark_full_refresh(self, lsn: int | None = None) -> None:
+        """Force the next flush to treat every materialized view as affected.
+
+        Used for operations whose changed-entity set is unknown, e.g. a
+        source removal that may touch arbitrary subjects.  Because no view's
+        incremental ``update`` procedure can be told *which* entities changed,
+        the flush rebuilds every view from scratch via ``create``.
+        """
+        observed = int(lsn) if lsn is not None else self.current_lsn()
+        self.delta_lsn = max(self.delta_lsn, observed)
+        if not self._has_materialized():
+            return
+        self._pending_full = True
+        self._pending_rebuild = True
+        self._pending_lsn = max(self._pending_lsn, observed)
+
+    def flush(self) -> dict[str, float]:
+        """Maintain the affected closure of the pending delta, topologically.
+
+        Only views affected by the batched changed entities (directly through
+        their scope or transitively through an affected dependency) are
+        rebuilt; every other materialized view merely advances its LSN
+        watermark and counts a skipped update.  A view already at or beyond
+        the batch's target LSN is not rebuilt unless the flush was forced by a
+        direct :meth:`update` call.
+        """
+        if not (self._pending or self._pending_full or self._pending_forced):
+            return {}
+        changed = sorted(self._pending)
+        deleted = set(self._pending_deleted)
+        forced = self._pending_forced
+        # Deleted entities can no longer be classified by store-derived scope
+        # predicates, so their presence widens the flush to every view.
+        full = self._pending_full or bool(deleted)
+        rebuild = self._pending_rebuild
+        self._local_lsn += 1
+        target_lsn = self._pending_lsn or self.current_lsn()
+        self._pending = set()
+        self._pending_deleted = set()
+        self._pending_lsn = 0
+        self._pending_forced = False
+        self._pending_full = False
+        self._pending_rebuild = False
+
+        try:
+            return self._flush_batch(changed, target_lsn, forced, full, rebuild)
+        except Exception:
+            # A failed flush must not lose the delta: restore it (merged with
+            # anything enqueued by reentrant observers) so a retry still
+            # covers every pending change.
+            self._pending.update(changed)
+            self._pending_deleted.update(deleted)
+            self._pending_lsn = max(self._pending_lsn, target_lsn)
+            self._pending_forced = self._pending_forced or forced
+            self._pending_full = self._pending_full or full
+            self._pending_rebuild = self._pending_rebuild or rebuild
+            raise
+
+    def _flush_batch(
+        self,
+        changed: list[str],
+        target_lsn: int,
+        forced: bool,
+        full: bool,
+        rebuild: bool,
+    ) -> dict[str, float]:
+        closure = None if full else set(self.catalog.affected_closure(changed))
         timings: dict[str, float] = {}
         context = ViewContext(engines=self.engines, artifacts=self._artifacts())
         for name in self.catalog.execution_order():
             state = self.states.get(name)
             if state is None or not state.materialized:
                 continue
+            if not (full or name in closure):
+                state.skipped_updates += 1
+                if target_lsn > state.built_at_lsn:
+                    state.built_at_lsn = target_lsn
+                    self._record_watermark(name, state)
+                continue
+            if not forced and state.built_at_lsn >= target_lsn:
+                state.skipped_updates += 1
+                continue
             definition = self.catalog.get(name)
-            started = time.perf_counter()
-            if definition.update is not None:
-                artifact = definition.update(context, list(changed_entity_ids))
-                state.incremental_updates += 1
-            else:
-                artifact = definition.create(context)
-                state.builds += 1
-            elapsed = time.perf_counter() - started
-            if artifact is not None:
-                state.artifact = artifact
-                context.artifacts[name] = artifact
-            state.last_built_at = time.time()
-            timings[name] = elapsed
+            self._require_dependencies(name, definition)
+            timings[name] = self._maintain_view(
+                name, definition, state, context, changed, force_create=rebuild
+            )
+            state.built_at_lsn = max(state.built_at_lsn, target_lsn)
+            self._record_watermark(name, state)
+        self.flushes += 1
         return timings
 
-    def drop(self, name: str) -> None:
-        """Drop one view's materialization (calls its drop procedure if any)."""
+    def update(
+        self,
+        changed_entity_ids: Sequence[str],
+        lsn: int | None = None,
+        selective: bool = True,
+    ) -> dict[str, float]:
+        """Immediately maintain views for the changed entities.
+
+        With ``selective=True`` only the affected closure is rebuilt; with
+        ``selective=False`` every materialized view is maintained regardless
+        of scope (the pre-selective behavior, kept for A/B measurement).
+        Views without an ``update`` procedure are rebuilt from scratch, which
+        is the fallback the paper allows for non-incrementally-maintainable
+        views (e.g. iterative algorithms).
+        """
+        self._pending.update(changed_entity_ids)
+        self._pending_forced = True
+        if not selective:
+            self._pending_full = True
+        if lsn is not None:
+            self._pending_lsn = max(self._pending_lsn, int(lsn))
+        return self.flush()
+
+    def _require_dependencies(self, name: str, definition: ViewDefinition) -> None:
+        missing = [
+            dependency
+            for dependency in definition.dependencies
+            if not self.is_materialized(dependency)
+        ]
+        if missing:
+            raise ViewError(
+                f"cannot maintain view {name!r}: dependencies {missing} have never "
+                "been materialized — materialize them before updating dependents"
+            )
+
+    def _maintain_view(
+        self,
+        name: str,
+        definition: ViewDefinition,
+        state: ViewState,
+        context: ViewContext,
+        changed: Sequence[str],
+        force_create: bool = False,
+    ) -> float:
+        started = time.perf_counter()
+        if definition.update is not None and not force_create:
+            artifact = definition.update(context, list(changed))
+            state.incremental_updates += 1
+        else:
+            artifact = definition.create(context)
+            state.builds += 1
+        elapsed = time.perf_counter() - started
+        if artifact is not None:
+            state.artifact = artifact
+            context.artifacts[name] = artifact
+        state.last_built_at = time.time()
+        state.last_build_seconds = elapsed
+        return elapsed
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+    def drop(self, name: str, cascade: bool = True) -> list[str]:
+        """Drop one view's materialization, cascading to its dependents.
+
+        Transitive dependents are invalidated (their drop procedures run, the
+        artifacts are discarded) in reverse topological order so no dependent
+        keeps serving a result built from the dropped view.  With
+        ``cascade=False`` the drop is rejected while materialized dependents
+        exist.  Returns the names whose materialization was removed.
+        """
         definition = self.catalog.get(name)
+        dependents = self.catalog.dependents_of(name)
+        materialized_dependents = [d for d in dependents if self.is_materialized(d)]
+        if not cascade and materialized_dependents:
+            raise ViewError(
+                f"cannot drop view {name!r}: materialized dependents "
+                f"{materialized_dependents} would go stale (use cascade=True)"
+            )
+        removed: list[str] = []
+        if dependents:
+            dependent_set = set(dependents)
+            order = [n for n in self.catalog.execution_order() if n in dependent_set]
+            for dependent in reversed(order):
+                if self._invalidate(dependent):
+                    removed.append(dependent)
         state = self.states.get(name)
         if definition.drop is not None and state is not None and state.materialized:
             definition.drop(ViewContext(engines=self.engines, artifacts=self._artifacts()))
+        if state is not None and state.materialized:
+            removed.append(name)
         self.states.pop(name, None)
+        self._clear_watermark(name)
+        return removed
+
+    def _invalidate(self, name: str) -> bool:
+        """Invalidate one view's materialization; returns True when it was live."""
+        state = self.states.get(name)
+        if state is None or not state.materialized:
+            return False
+        definition = self.catalog.get(name) if name in self.catalog else None
+        if definition is not None and definition.drop is not None:
+            definition.drop(ViewContext(engines=self.engines, artifacts=self._artifacts()))
+        state.materialized = False
+        state.artifact = None
+        state.invalidations += 1
+        self._clear_watermark(name)
+        return True
+
+    def reset_views(self, names: Iterable[str]) -> None:
+        """Discard runtime state for *names* (called on re-registration).
+
+        The old artifacts were built against definitions that no longer
+        exist, so the state is removed outright; drop procedures are not run
+        because they belong to the replaced definitions.
+        """
+        for name in names:
+            self.states.pop(name, None)
+            self._clear_watermark(name)
 
     # -------------------------------------------------------------- #
     # access
@@ -263,8 +607,32 @@ class ViewManager:
         state = self.states.get(name)
         return bool(state and state.materialized)
 
+    def built_at_lsn(self, name: str) -> int:
+        """The operation-log position the view's artifact reflects."""
+        state = self.states.get(name)
+        return state.built_at_lsn if state is not None else 0
+
+    def state_revision(self, name: str) -> int:
+        """Identifier of the view's state lineage; changes on redefinition.
+
+        Lets LSN-caching consumers notice that an artifact was rebuilt under
+        a new definition even when the log position did not move.
+        """
+        state = self.states.get(name)
+        return state.revision if state is not None else 0
+
+    def current_lsn(self) -> int:
+        """The log position maintenance is stamped against right now."""
+        if self.lsn_source is not None:
+            return int(self.lsn_source())
+        return self._local_lsn
+
+    def pending_changes(self) -> list[str]:
+        """Changed entity ids accumulated and not yet flushed."""
+        return sorted(self._pending)
+
     def stale_views(self, now: float | None = None) -> list[str]:
-        """Views whose freshness SLA is violated at time *now*."""
+        """Views whose wall-clock freshness SLA is violated at time *now*."""
         current = now if now is not None else time.time()
         stale = []
         for name in self.catalog.names():
@@ -278,6 +646,43 @@ class ViewManager:
             if current - state.last_built_at > definition.freshness_sla:
                 stale.append(name)
         return stale
+
+    def lagging_views(self, head_lsn: int | None = None) -> dict[str, int]:
+        """Materialized views behind *head_lsn*, and how many log positions."""
+        head = head_lsn if head_lsn is not None else self.current_lsn()
+        return {
+            name: head - state.built_at_lsn
+            for name, state in sorted(self.states.items())
+            if state.materialized and state.built_at_lsn < head
+        }
+
+    def maintenance_stats(self) -> dict[str, dict[str, object]]:
+        """Per-view lifecycle counters proving the work selectivity avoided."""
+        return {
+            name: {
+                "materialized": state.materialized,
+                "builds": state.builds,
+                "incremental_updates": state.incremental_updates,
+                "skipped_updates": state.skipped_updates,
+                "invalidations": state.invalidations,
+                "built_at_lsn": state.built_at_lsn,
+            }
+            for name, state in sorted(self.states.items())
+        }
+
+    # -------------------------------------------------------------- #
+    # internals
+    # -------------------------------------------------------------- #
+    def _has_materialized(self) -> bool:
+        return any(state.materialized for state in self.states.values())
+
+    def _record_watermark(self, name: str, state: ViewState) -> None:
+        if self.metadata is not None:
+            self.metadata.update_view_watermark(name, state.built_at_lsn)
+
+    def _clear_watermark(self, name: str) -> None:
+        if self.metadata is not None:
+            self.metadata.clear_view_watermark(name)
 
     def _artifacts(self) -> dict[str, object]:
         return {

@@ -11,12 +11,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.datagen.streams import LiveEvent
-from repro.errors import IntentError
+from repro.errors import IntentError, LiveGraphError
 from repro.live.construction import EntityResolutionClient, LiveGraphConstruction
 from repro.live.context import ContextGraph
 from repro.live.curation import CurationDecision, CurationPipeline
 from repro.live.executor import QueryExecutor, QueryResult
-from repro.live.index import LiveIndex
+from repro.live.index import LiveEntityDocument, LiveIndex
 from repro.live.intents import Intent, IntentHandler, default_intent_handler
 from repro.live.kgq import (
     CallQuery,
@@ -60,13 +60,121 @@ class LiveGraphEngine:
         self.intents = intent_handler or default_intent_handler(self.index)
         self.context = ContextGraph()
         self.curation = CurationPipeline()
+        self._feed_documents: dict[str, set[str]] = {}   # feed -> served doc ids
+        self._feed_revisions: dict[str, int] = {}        # feed -> view state revision
 
     # -------------------------------------------------------------- #
     # construction
     # -------------------------------------------------------------- #
-    def load_stable_view(self, store: TripleStore, entity_types: Sequence[str] = ()) -> int:
-        """Load a stable-KG view into the live index."""
+    def load_stable_view(
+        self,
+        store: TripleStore,
+        entity_types: Sequence[str] = (),
+        version: int | None = None,
+    ) -> int:
+        """Load a stable-KG view into the live index.
+
+        *version* is the Graph Engine log position (LSN) the store reflects;
+        when given it is recorded as the stable feed's watermark (keyed per
+        ``entity_types`` filter) so later syncs can skip reloading an
+        unchanged upstream.
+        """
         loaded = self.construction.load_stable_view(store, entity_types)
+        if version is not None:
+            self.index.set_watermark(self._stable_feed(entity_types), version)
+        self.executor.invalidate_cache()
+        return loaded
+
+    def sync_stable_view(self, graph_engine, entity_types: Sequence[str] = ()) -> int:
+        """Refresh the stable view from a Graph Engine only when it advanced.
+
+        Compares the engine's minimum store version (the LSN every store has
+        replayed) against the watermark of this ``entity_types`` filter's
+        feed; returns 0 without touching the index when the serving copy is
+        already fresh.  A sync with a *different* type filter is its own feed
+        and is never skipped on another filter's account.
+        """
+        version = graph_engine.minimum_version()
+        if version and self.index.is_fresh(self._stable_feed(entity_types), version):
+            return 0
+        return self.load_stable_view(graph_engine.triples, entity_types, version=version)
+
+    @staticmethod
+    def _stable_feed(entity_types: Sequence[str]) -> str:
+        if not entity_types:
+            return "stable"
+        return "stable:" + ",".join(sorted(entity_types))
+
+    def load_view_artifact(
+        self, graph_engine, view_name: str, entity_type: str = "view_row"
+    ) -> int:
+        """Serve a materialized Graph Engine view artifact from the live index.
+
+        The artifact must be row-shaped (a sequence of dicts with a
+        ``subject`` key, like the standard ``entity_features`` view).  Each
+        row becomes a live document keyed ``{view_name}:{subject}``.  The
+        view's ``built_at_lsn`` watermark gates the load: when the serving
+        copy already reflects that log position, nothing is reloaded.
+        Reading the artifact raises :class:`~repro.errors.ViewError` if the
+        view (or, via cascade invalidation, one of its dependencies) was
+        dropped — the live layer can never serve stale dropped-view results.
+        """
+        rows = graph_engine.view_artifact(view_name)
+        version = graph_engine.view_manager.built_at_lsn(view_name)
+        revision = graph_engine.view_manager.state_revision(view_name)
+        feed = f"view:{view_name}"
+        # Skip only when both the log position AND the state revision are
+        # unchanged: a re-registered view rebuilt at the same LSN is new data.
+        if (
+            version
+            and self.index.is_fresh(feed, version)
+            and self._feed_revisions.get(feed) == revision
+        ):
+            return 0
+        if not isinstance(rows, (list, tuple)):
+            raise LiveGraphError(
+                f"view artifact {view_name!r} is not row-shaped; cannot serve it live"
+            )
+        # Validate every row before touching the index: a malformed artifact
+        # must not leave a half-rewritten feed behind.
+        for row in rows:
+            if not isinstance(row, dict) or "subject" not in row:
+                raise LiveGraphError(
+                    f"view artifact {view_name!r} rows need a 'subject' key to be served"
+                )
+        loaded = 0
+        fresh_ids: set[str] = set()
+        for row in rows:
+            types = row.get("types") or []
+            facts = {
+                key: list(value) if isinstance(value, (list, tuple)) else [value]
+                for key, value in row.items()
+                if key not in ("subject", "name", "types") and value not in (None, "")
+            }
+            document = LiveEntityDocument(
+                entity_id=f"{view_name}:{row['subject']}",
+                entity_type=str(types[0]) if types else entity_type,
+                name=str(row.get("name", "")),
+                facts=facts,
+                source_id=feed,
+                timestamp=version,
+                is_live=False,
+            )
+            # View rows are authoritative: replace the KV document rather
+            # than merge, so predicates dropped from a row do not survive the
+            # reload.  KV-level delete suffices — upsert re-indexes the
+            # document, which already clears its old postings.
+            self.index.kv.delete(document.entity_id)
+            self.index.upsert(document)
+            fresh_ids.add(document.entity_id)
+            loaded += 1
+        # Rows that vanished from the artifact (e.g. deleted entities) must
+        # stop being served.
+        for stale_id in self._feed_documents.get(feed, set()) - fresh_ids:
+            self.index.delete(stale_id)
+        self._feed_documents[feed] = fresh_ids
+        self._feed_revisions[feed] = revision
+        self.index.set_watermark(feed, version)
         self.executor.invalidate_cache()
         return loaded
 
@@ -160,4 +268,5 @@ class LiveGraphEngine:
             "cache_hits": self.executor.cache.hits,
             "p95_latency_ms": self.latency_p95_ms(),
             "quarantined_facts": len(self.curation.pending()),
+            "feed_watermarks": dict(self.index.watermarks),
         }

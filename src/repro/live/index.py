@@ -14,6 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro.engine.metadata import WatermarkMap
 from repro.errors import LiveGraphError
 from repro.ml.similarity import normalize_string, tokens
 
@@ -200,11 +201,30 @@ class InvertedGraphIndex:
 
 
 class LiveIndex:
-    """The KV store and inverted index maintained together."""
+    """The KV store and inverted index maintained together.
+
+    ``watermarks`` track, per upstream feed (the stable view, each served
+    view artifact), the Graph Engine log position (LSN) the loaded documents
+    reflect — the same freshness currency the engine's metadata store uses —
+    so refreshes can be skipped when the upstream has not advanced.
+    """
 
     def __init__(self, num_shards: int = 4) -> None:
         self.kv = GraphKVStore(num_shards)
         self.inverted = InvertedGraphIndex()
+        self.watermarks = WatermarkMap()
+
+    def set_watermark(self, feed: str, lsn: int) -> None:
+        """Record that *feed*'s documents reflect the upstream log up to *lsn*."""
+        self.watermarks.advance(feed, lsn)
+
+    def watermark(self, feed: str) -> int:
+        """The upstream LSN *feed* currently serves (0 when never loaded)."""
+        return self.watermarks.of(feed)
+
+    def is_fresh(self, feed: str, required_lsn: int) -> bool:
+        """Whether *feed* serves at least upstream version *required_lsn*."""
+        return self.watermark(feed) >= required_lsn
 
     def upsert(self, document: LiveEntityDocument) -> None:
         """Insert or update a document in both structures."""

@@ -141,6 +141,40 @@ def test_freshness_sla_detection(monkeypatch):
     assert manager.stale_views(now=state.last_built_at + 7200) == ["fresh"]
 
 
+def test_scope_must_be_callable_and_batch_size_positive():
+    with pytest.raises(ViewError):
+        ViewDefinition("v", "analytics", lambda ctx: 1, scope="a:*")  # type: ignore[arg-type]
+    with pytest.raises(ViewError):
+        ViewManager(ViewCatalog(), engines={}, batch_size=0)
+
+
+def test_maintenance_stats_report_skips_and_builds():
+    catalog = ViewCatalog()
+    catalog.register(ViewDefinition("everything", "analytics", lambda ctx: 1))
+    catalog.register(ViewDefinition(
+        "scoped", "analytics", lambda ctx: 2,
+        scope=lambda entity_id: entity_id.startswith("x:"),
+    ))
+    manager = ViewManager(catalog, engines={})
+    manager.materialize()
+    manager.update(["y:1"])
+    stats = manager.maintenance_stats()
+    assert stats["everything"]["builds"] == 2          # rebuilt: no scope
+    assert stats["scoped"]["builds"] == 1
+    assert stats["scoped"]["skipped_updates"] == 1     # out of scope: work avoided
+    assert stats["scoped"]["materialized"] is True
+
+
+def test_enqueue_before_any_materialization_is_dropped():
+    catalog = ViewCatalog()
+    catalog.register(ViewDefinition("v", "analytics", lambda ctx: 1))
+    manager = ViewManager(catalog, engines={}, batch_size=1)
+    assert manager.enqueue(["kg:e1"], lsn=5) == {}
+    assert manager.pending_changes() == []
+    assert manager.delta_lsn == 5                      # observation is still recorded
+    assert manager.flush() == {}
+
+
 def test_view_context_errors():
     context = ViewContext(engines={"analytics": object()})
     assert context.engine("analytics") is not None
