@@ -1,0 +1,15 @@
+"""Repo-level pytest configuration shared by tests/ and benchmarks/."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runs-seeded",
+        nargs="?",
+        const=200,
+        default=25,
+        type=int,
+        help=(
+            "seeded operation sequences per view-invariant property test; "
+            "the bare flag selects the CI depth of 200"
+        ),
+    )

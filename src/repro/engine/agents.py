@@ -61,6 +61,29 @@ class ReplayReport:
         return sum(self.applied.values())
 
 
+@dataclass(frozen=True)
+class ProgressDelta:
+    """One fully-replayed operation, classified for delta-journal consumers.
+
+    The coordinator tracks the set of live subjects it has delivered so far,
+    so each ``ingest_delta`` splits into *added* (never delivered, or deleted
+    since) versus *updated* subjects; *deleted* mirrors the payload.
+    Operations whose changed-entity set is unknown (``remove_source``) are
+    delivered with ``full_refresh=True`` and empty id tuples.
+    """
+
+    lsn: int
+    added: tuple[str, ...] = ()
+    updated: tuple[str, ...] = ()
+    deleted: tuple[str, ...] = ()
+    full_refresh: bool = False
+
+    @property
+    def changed(self) -> tuple[str, ...]:
+        """Added plus updated subjects, in delivery order."""
+        return self.added + self.updated
+
+
 class AgentCoordinator:
     """Drive every registered agent from its watermark to the log head."""
 
@@ -75,8 +98,10 @@ class AgentCoordinator:
         self.metadata = metadata
         self.agents: dict[str, OrchestrationAgent] = {}
         self.progress_listeners: list[Callable[[LogRecord, object], None]] = []
+        self.delta_listeners: list[Callable[[ProgressDelta], None]] = []
         self.listener_errors: list[str] = []
         self._delivered_lsn = 0
+        self._live_subjects: set[str] = set()
 
     def add_progress_listener(self, listener: Callable[[LogRecord, object], None]) -> None:
         """Call *listener* with each record once every store has applied it.
@@ -88,6 +113,17 @@ class AgentCoordinator:
         store that has not replayed the operation yet.
         """
         self.progress_listeners.append(listener)
+
+    def add_delta_listener(self, listener: Callable[[ProgressDelta], None]) -> None:
+        """Call *listener* with a classified :class:`ProgressDelta` per record.
+
+        Same delivery guarantees as :meth:`add_progress_listener` (strict LSN
+        order, exactly once, only after every store replayed the record), but
+        the payload is pre-classified into added / updated / deleted subjects
+        so delta-journal consumers (the view manager) can record entity-level
+        deltas without re-deriving them from raw payloads.
+        """
+        self.delta_listeners.append(listener)
 
     def register(self, agent: OrchestrationAgent) -> OrchestrationAgent:
         """Register an agent; its watermark starts at 0 (full replay)."""
@@ -138,7 +174,7 @@ class AgentCoordinator:
         return report
 
     def _notify_progress(self) -> None:
-        if not self.progress_listeners or not self.agents:
+        if (not self.progress_listeners and not self.delta_listeners) or not self.agents:
             return
         fully_applied = min(self.metadata.watermark(name) for name in self.agents)
         if fully_applied <= self._delivered_lsn:
@@ -156,7 +192,35 @@ class AgentCoordinator:
                     # Stores applied this record; a derived-maintenance error
                     # must neither unwind replay nor cause redelivery.
                     self.listener_errors.append(f"lsn={record.lsn}: {exc}")
+            delta = self._classify(record, payload)
+            for listener in self.delta_listeners:
+                try:
+                    listener(delta)
+                except Exception as exc:  # noqa: BLE001 - replay already committed
+                    self.listener_errors.append(f"lsn={record.lsn}: {exc}")
             self._delivered_lsn = record.lsn
+
+    def _classify(self, record: LogRecord, payload: object) -> ProgressDelta:
+        """Split one delivered record into added / updated / deleted subjects.
+
+        Classification is stateful against the subjects delivered so far, so
+        it must run exactly once per record even when no delta listener is
+        registered yet.  After a ``full_refresh`` the live-subject set may
+        retain subjects a ``remove_source`` actually dropped; a later re-add
+        then classifies as *updated* — harmless for journal consumers, which
+        treat added and updated rows identically.
+        """
+        if record.operation == "ingest_delta" and isinstance(payload, dict):
+            subjects = [str(s) for s in payload.get("subjects", [])]
+            deleted = [str(s) for s in payload.get("deleted", [])]
+            added = tuple(s for s in subjects if s not in self._live_subjects)
+            updated = tuple(s for s in subjects if s in self._live_subjects)
+            self._live_subjects.update(subjects)
+            self._live_subjects.difference_update(deleted)
+            return ProgressDelta(
+                lsn=record.lsn, added=added, updated=updated, deleted=tuple(deleted)
+            )
+        return ProgressDelta(lsn=record.lsn, full_refresh=True)
 
     def freshness(self) -> dict[str, int]:
         """Per-store lag behind the log head, in operations."""

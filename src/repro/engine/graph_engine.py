@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.engine.agents import AgentCoordinator, OrchestrationAgent, ReplayReport
+from repro.engine.agents import (
+    AgentCoordinator,
+    OrchestrationAgent,
+    ProgressDelta,
+    ReplayReport,
+)
 from repro.engine.analytics import AnalyticsStore, EntityViewSpec, Relation
 from repro.engine.entity_store import EntityDocument, EntityStore
 from repro.engine.importance import EntityImportance, ImportanceScore, importance_view_rows
@@ -136,6 +141,7 @@ class GraphEngine:
         log_path: str | None = None,
         embedding_dimension: int = 32,
         view_batch_size: int | None = None,
+        view_max_workers: int | None = None,
     ) -> None:
         self.ontology = ontology
         self.triples = TripleStore()
@@ -160,8 +166,12 @@ class GraphEngine:
             metadata=self.metadata,
             lsn_source=self.metadata.minimum_watermark,
             batch_size=view_batch_size,
+            # Scope snapshots enumerate the primary store so deletions resolve
+            # to the views that actually contained the entity.
+            entity_source=self.triples.subjects,
+            max_workers=view_max_workers,
         )
-        self.coordinator.add_progress_listener(self._on_log_progress)
+        self.coordinator.add_delta_listener(self._on_log_delta)
         self.importance = EntityImportance()
         self.stats = EngineStats()
 
@@ -304,17 +314,18 @@ class GraphEngine:
         """Return the materialized artifact of a registered view."""
         return self.view_manager.artifact(name)
 
-    def _on_log_progress(self, record: LogRecord, payload: object) -> None:
-        """Feed fully-replayed operations to the view manager as deltas."""
-        if record.operation == "ingest_delta" and isinstance(payload, dict):
-            self.view_manager.enqueue(
-                payload.get("subjects", []),
-                lsn=record.lsn,
-                deleted_entity_ids=payload.get("deleted", []),
-            )
-        else:
+    def _on_log_delta(self, delta: ProgressDelta) -> None:
+        """Feed fully-replayed, classified operations to the view manager."""
+        if delta.full_refresh:
             # changed-entity set unknown (e.g. remove_source): full refresh
-            self.view_manager.mark_full_refresh(record.lsn)
+            self.view_manager.mark_full_refresh(delta.lsn)
+        else:
+            self.view_manager.enqueue(
+                delta.changed,
+                lsn=delta.lsn,
+                deleted_entity_ids=delta.deleted,
+                added_entity_ids=delta.added,
+            )
 
     def register_standard_views(self) -> list[str]:
         """Register the production-style view dependency graph of Figure 7.

@@ -9,6 +9,12 @@ Materialized views carry watermarks too — the log position their artifact
 reflects — but in a separate namespace: view freshness must not drag down
 :meth:`MetadataStore.minimum_watermark`, which answers "what KG version does
 every *store* serve" regardless of which views happen to be materialized.
+
+A third namespace mirrors per-view **delta-journal high-water marks**: the
+highest log position a view's delta journal has recorded applied entity
+deltas up to.  Consumers watching the marks can tell whether a view has been
+absorbing journaled deltas (the mark tracks the view watermark) or has been
+rebuilt from scratch / left untouched by recent flushes.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ class MetadataStore:
 
     watermarks: WatermarkMap = field(default_factory=WatermarkMap)
     view_marks: WatermarkMap = field(default_factory=WatermarkMap)
+    journal_marks: WatermarkMap = field(default_factory=WatermarkMap)
     annotations: dict[str, dict] = field(default_factory=dict)
 
     # -------------------------------------------------------------- #
@@ -91,6 +98,21 @@ class MetadataStore:
     def lagging_view_watermarks(self, head_lsn: int) -> dict[str, int]:
         """Views behind *head_lsn* and how many log positions behind they are."""
         return self.view_marks.lagging(head_lsn)
+
+    # -------------------------------------------------------------- #
+    # view delta-journal high-water marks
+    # -------------------------------------------------------------- #
+    def update_view_journal_mark(self, view_name: str, lsn: int) -> None:
+        """Record that *view_name*'s delta journal covers the log up to *lsn*."""
+        self.journal_marks.advance(view_name, lsn)
+
+    def view_journal_mark(self, view_name: str) -> int:
+        """The journal high-water mark of *view_name* (0 when unknown)."""
+        return self.journal_marks.of(view_name)
+
+    def clear_view_journal_mark(self, view_name: str) -> None:
+        """Forget a view's journal mark (the view was dropped or redefined)."""
+        self.journal_marks.pop(view_name, None)
 
     # -------------------------------------------------------------- #
     # annotations

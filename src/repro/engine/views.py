@@ -1,4 +1,4 @@
-"""KG views: catalog, dependency graph, and selective, LSN-tracked maintenance.
+"""KG views: catalog, dependency graph, and delta-journaled, LSN-tracked maintenance.
 
 Section 3.2: a view is *any* transformation of the graph — subgraph views,
 schematized relational views, aggregates, iterative algorithms (PageRank), or
@@ -16,28 +16,60 @@ Maintenance model
 The manager maintains views *selectively* and *change-driven* rather than
 rebuilding every materialized view on any update:
 
+* **Entity-level deltas.**  Changed-entity deltas accumulate in a pending
+  batch (fed by the Graph Engine's log-replay progress, which classifies ids
+  as added / updated / deleted) and flush either explicitly or automatically
+  once ``batch_size`` distinct entities are pending.  A flush turns the batch
+  into one :class:`ViewDelta` carrying the LSN range it covers.
+
 * **Affected closure.**  Each :class:`ViewDefinition` may declare an entity
-  ``scope`` predicate.  Given a batch of changed entity ids, a root view is
-  affected only when the batch intersects its scope (no scope means
+  ``scope`` predicate.  A root view is affected when the delta's changed ids
+  intersect its scope *or* its pre-delete scope snapshot (no scope means
   "affected by any change"); a dependent view is affected when any of its
-  dependencies is affected or its own scope matches.  Only the affected
-  closure is rebuilt, in topological order, with fresh artifacts propagated
-  downward through :attr:`ViewContext.artifacts`.
+  dependencies is affected.  Only the affected closure is maintained; every
+  other materialized view merely advances its watermark and counts a skipped
+  update — the proof of work avoided.
+
+* **Pre-delete scope snapshots.**  A deleted entity can no longer be
+  classified by a store-derived scope predicate, so the manager keeps a
+  per-view snapshot of scope membership (seeded from ``entity_source`` at
+  build time, maintained from deltas afterwards).  Deletions resolve to the
+  views whose snapshot actually contained the entity; a deletion matching no
+  snapshot (and no unscoped view) is a no-op flush.  Without a complete
+  snapshot the manager stays conservative about *deletions* and treats the
+  view as affected.  Scope *migration* (a changed entity leaving a view's
+  scope) is caught through snapshot membership, which is only complete when
+  ``entity_source`` is supplied — a standalone manager without one tracks
+  membership from observed deltas only, so entities present since the
+  initial ``create`` that later migrate out are missed (the pre-snapshot
+  behavior; the Graph Engine always supplies ``entity_source``).
+
+* **Delta journals.**  Every :class:`ViewState` carries a
+  :class:`DeltaJournal` of the per-view deltas its artifact has absorbed,
+  with LSN ranges.  Views maintained through ``apply_delta`` or ``update``
+  append their scope-projected delta; views rebuilt through ``create``
+  truncate the journal (the extent of the change is unknown).  Downstream
+  consumers (the live serving layer) call :meth:`ViewManager.view_deltas_since`
+  to fetch only what changed since the version they serve, falling back to a
+  full reload when the journal cannot cover the gap.  Journals are compacted
+  once they exceed ``journal_limit`` entries.
+
+* **Parallel branch flushing.**  ``flush()`` schedules the affected closure
+  over the topological antichains of the dependency graph: views within one
+  antichain are mutually independent and run on a thread pool when
+  ``max_workers`` allows, while a dependent never starts before its
+  dependencies' antichain completed.  Journal append/truncate, scope-snapshot
+  update, and watermark publication are committed atomically per view under a
+  per-view lock, so a failing branch neither corrupts a sibling branch's
+  journal nor loses the pending delta (the flush restores it and re-raises).
 
 * **LSN watermarks.**  Every :class:`ViewState` records ``built_at_lsn`` — the
-  operation-log position its artifact reflects.  Staleness is therefore
-  measured in log positions (how many operations behind the log head), not
-  wall-clock seconds; the wall-clock ``freshness_sla`` remains as an
-  orthogonal serving-side SLA.  Watermarks are mirrored into the platform
+  operation-log position its artifact reflects.  Watermarks and journal
+  high-water marks are mirrored into the platform
   :class:`~repro.engine.metadata.MetadataStore` when one is attached, so
   consumers can route reads with the same freshness machinery they use for
-  stores.
-
-* **Batched deltas.**  Changed-entity deltas accumulate in a pending batch
-  (fed by the Graph Engine's log-replay progress) and flush either explicitly
-  or automatically once ``batch_size`` distinct entities are pending.  A view
-  outside the affected closure of a flush only has its watermark advanced and
-  its ``skipped_updates`` counter bumped — the proof of work avoided.
+  stores.  The wall-clock ``freshness_sla`` remains as an orthogonal
+  serving-side SLA.
 
 * **Lifecycle safety.**  ``drop`` cascades invalidation to transitive
   dependents so no dependent keeps serving an artifact built from a dropped
@@ -45,11 +77,24 @@ rebuilding every materialized view on any update:
   dependents in every attached manager; and maintenance fails fast with a
   :class:`~repro.errors.ViewError` when a dependent would be rebuilt on top
   of a dependency that has never been materialized.
+
+Incremental-procedure contract
+------------------------------
+
+``apply_delta(context, delta)`` (and ``update``) must confine artifact row
+changes to the delta's entities: rows outside ``delta.changed | delta.deleted``
+must be byte-identical to a from-scratch rebuild.  A view whose rows can
+change beyond the delta (e.g. an iterative algorithm) must not declare an
+incremental procedure — the ``create`` fallback truncates the journal so no
+consumer trusts a delta that undersells the change.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+import weakref
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -59,13 +104,141 @@ from repro.engine.metadata import MetadataStore
 from repro.errors import ViewError
 
 
+@dataclass(frozen=True)
+class ViewDelta:
+    """One entity-level delta with the LSN range it covers.
+
+    ``added`` / ``updated`` / ``deleted`` partition the entity ids; ``changed``
+    is the union of the first two.  Journal entries and the arguments of
+    ``apply_delta`` procedures are instances of this class — for scoped views
+    the sets are projected onto the view's scope, so ``deleted`` also contains
+    entities that migrated *out* of the scope (their rows leave the view).
+    """
+
+    added: frozenset[str] = frozenset()
+    updated: frozenset[str] = frozenset()
+    deleted: frozenset[str] = frozenset()
+    first_lsn: int = 0
+    last_lsn: int = 0
+
+    @property
+    def changed(self) -> frozenset[str]:
+        """Entities whose rows must be (re)computed: added plus updated."""
+        return self.added | self.updated
+
+    def is_empty(self) -> bool:
+        """Whether the delta carries no entity at all."""
+        return not (self.added or self.updated or self.deleted)
+
+    def merge(self, later: "ViewDelta") -> "ViewDelta":
+        """Net effect of this delta followed by *later* (entity-wise fold)."""
+        added = set(self.added)
+        updated = set(self.updated)
+        deleted = set(self.deleted)
+        for entity_id in later.added:
+            deleted.discard(entity_id)
+            updated.discard(entity_id)
+            added.add(entity_id)
+        for entity_id in later.updated:
+            if entity_id in deleted:
+                # deleted then updated: net-new from the consumer's viewpoint
+                deleted.discard(entity_id)
+                added.add(entity_id)
+            elif entity_id not in added:
+                updated.add(entity_id)
+        for entity_id in later.deleted:
+            added.discard(entity_id)
+            updated.discard(entity_id)
+            deleted.add(entity_id)
+        return ViewDelta(
+            added=frozenset(added),
+            updated=frozenset(updated),
+            deleted=frozenset(deleted),
+            first_lsn=min(self.first_lsn, later.first_lsn) or later.first_lsn,
+            last_lsn=max(self.last_lsn, later.last_lsn),
+        )
+
+
+class DeltaJournal:
+    """Applied-delta history of one view, LSN-ascending and bounded.
+
+    ``floor_lsn`` marks the position below which history is unavailable —
+    either because it was never recorded (full ``create`` rebuilds truncate
+    the journal) or because compaction merged it away.  :meth:`since` answers
+    "what changed after LSN *n*" for consumers that serve version *n*, or
+    ``None`` when the journal cannot cover the gap (forcing a full reload).
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 2:
+            raise ViewError("delta journal needs room for at least two entries")
+        self.max_entries = max_entries
+        self.entries: list[ViewDelta] = []
+        self.floor_lsn = 0
+        self.appends = 0
+        self.compactions = 0
+
+    def append(self, delta: ViewDelta) -> None:
+        """Record one applied delta (no-op for empty deltas)."""
+        if delta.is_empty():
+            return
+        self.entries.append(delta)
+        self.appends += 1
+        if len(self.entries) > self.max_entries:
+            self._compact()
+
+    def truncate(self, lsn: int) -> None:
+        """Forget all history: the artifact changed by an unknown extent."""
+        self.entries.clear()
+        self.floor_lsn = max(self.floor_lsn, lsn)
+
+    def since(self, lsn: int) -> ViewDelta | None:
+        """Net delta after *lsn*, or ``None`` when history does not reach back."""
+        if lsn < self.floor_lsn:
+            return None
+        merged = ViewDelta(first_lsn=lsn, last_lsn=lsn)
+        for entry in self.entries:
+            if entry.last_lsn > lsn:
+                merged = merged.merge(entry)
+        return merged
+
+    def high_water_mark(self) -> int:
+        """The highest LSN the journal has recorded history up to."""
+        if self.entries:
+            return self.entries[-1].last_lsn
+        return self.floor_lsn
+
+    def _compact(self) -> None:
+        """Merge the oldest half of the journal into a single entry."""
+        keep_from = len(self.entries) // 2
+        merged = self.entries[0]
+        for entry in self.entries[1:keep_from]:
+            merged = merged.merge(entry)
+        self.entries[:keep_from] = [merged]
+        self.compactions += 1
+
+
+@dataclass
+class ScopeSnapshot:
+    """Pre-delete snapshot of which entities a view's scope contains.
+
+    ``complete`` is only True when the membership was seeded from a full
+    entity enumeration; otherwise deletions stay conservative for the view.
+    """
+
+    members: set[str] = field(default_factory=set)
+    complete: bool = False
+
+
 @dataclass
 class ViewContext:
     """Execution context handed to view procedures.
 
     ``engines`` exposes the Graph Engine's stores by name (``analytics``,
     ``entity_store``, ``text_index``, ``vector_db``, ``triples``, ...);
-    ``artifacts`` holds the materialized results of dependency views.
+    ``artifacts`` holds the materialized results of dependency views (during
+    maintenance it also holds the view's own previous artifact, which
+    ``apply_delta`` procedures may patch in place).
     """
 
     engines: dict[str, object] = field(default_factory=dict)
@@ -90,6 +263,7 @@ class ViewContext:
 
 CreateProcedure = Callable[[ViewContext], object]
 UpdateProcedure = Callable[[ViewContext, list[str]], object]
+DeltaProcedure = Callable[[ViewContext, ViewDelta], object]
 DropProcedure = Callable[[ViewContext], None]
 ScopePredicate = Callable[[str], bool]
 
@@ -102,6 +276,7 @@ class ViewDefinition:
     engine: str
     create: CreateProcedure
     update: UpdateProcedure | None = None
+    apply_delta: DeltaProcedure | None = None  # incremental builder (ViewDelta in)
     drop: DropProcedure | None = None
     dependencies: tuple[str, ...] = ()
     scope: ScopePredicate | None = None    # entity-id predicate for selectivity
@@ -113,6 +288,8 @@ class ViewDefinition:
             raise ViewError("view name must be non-empty")
         if not callable(self.create):
             raise ViewError(f"view {self.name!r} needs a callable create procedure")
+        if self.apply_delta is not None and not callable(self.apply_delta):
+            raise ViewError(f"view {self.name!r} apply_delta must be callable")
         if self.scope is not None and not callable(self.scope):
             raise ViewError(f"view {self.name!r} scope must be callable")
 
@@ -133,10 +310,12 @@ class ViewState:
     last_build_seconds: float = 0.0
     built_at_lsn: int = 0          # operation-log position the artifact reflects
     builds: int = 0
-    incremental_updates: int = 0
+    incremental_updates: int = 0   # maintenance runs through the update procedure
+    delta_applies: int = 0         # maintenance runs through apply_delta
     skipped_updates: int = 0       # flushes that proved no rebuild was needed
     invalidations: int = 0         # cascade invalidations (drop / re-register)
     revision: int = 0              # bumped when state is recreated (redefinition)
+    journal: DeltaJournal = field(default_factory=DeltaJournal)
 
 
 class ViewCatalog:
@@ -236,7 +415,9 @@ class ViewCatalog:
         """Views whose scope matches the changed entities, plus all dependents.
 
         Returned in topological order; views with no declared scope are
-        conservatively considered affected by any change.
+        conservatively considered affected by any change.  This is the
+        snapshot-free catalog-level closure; the manager refines it with
+        scope snapshots to keep deletions selective.
         """
         affected: set[str] = set()
         for name in self.execution_order():
@@ -259,8 +440,11 @@ class ViewManager:
 
     ``lsn_source`` (usually the operation log's ``head_lsn``) stamps every
     build with the log position it reflects; ``metadata`` mirrors the per-view
-    watermarks into the platform metadata store; ``batch_size`` turns on
-    automatic flushing of the pending changed-entity delta.
+    watermarks and journal high-water marks into the platform metadata store;
+    ``batch_size`` turns on automatic flushing of the pending changed-entity
+    delta; ``entity_source`` enumerates current entity ids so scoped views get
+    complete pre-delete scope snapshots; ``max_workers`` > 1 flushes
+    independent dependency-graph branches on a thread pool.
     """
 
     def __init__(
@@ -270,26 +454,44 @@ class ViewManager:
         metadata: MetadataStore | None = None,
         lsn_source: Callable[[], int] | None = None,
         batch_size: int | None = None,
+        entity_source: Callable[[], Iterable[str]] | None = None,
+        max_workers: int | None = None,
+        journal_limit: int = 256,
     ) -> None:
         if batch_size is not None and batch_size <= 0:
             raise ViewError("view maintenance batch_size must be positive")
+        if max_workers is not None and max_workers <= 0:
+            raise ViewError("view maintenance max_workers must be positive")
         self.catalog = catalog
         self.engines = engines
         self.metadata = metadata
         self.lsn_source = lsn_source
         self.batch_size = batch_size
+        self.entity_source = entity_source
+        self.max_workers = max_workers
+        self.journal_limit = journal_limit
         self.states: dict[str, ViewState] = {}
         self.flushes = 0
         self.deltas_observed = 0
+        self.maintenance_decisions = 0   # skip-or-rebuild verdicts reached
+        self.maintenance_skips = 0
+        self.maintenance_rebuilds = 0
         self._pending: set[str] = set()
+        self._pending_added: set[str] = set()
         self._pending_deleted: set[str] = set()
         self._pending_lsn = 0
+        self._pending_first_lsn = 0
         self._pending_forced = False
         self._pending_full = False
         self._pending_rebuild = False
         self._revision_counter = 0
         self._local_lsn = 0
         self.delta_lsn = 0          # highest LSN whose delta has been observed
+        self._scope_snapshots: dict[str, ScopeSnapshot] = {}
+        self._state_locks: dict[str, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        self._counters_lock = threading.Lock()   # manager totals, pool-thread safe
+        self._pool: ThreadPoolExecutor | None = None   # lazy, manager-lifetime
         catalog.attach(self)
 
     # -------------------------------------------------------------- #
@@ -334,15 +536,23 @@ class ViewManager:
             # A fresh revision distinguishes "same LSN, new definition" for
             # consumers caching by log position (e.g. the live serving layer).
             self._revision_counter += 1
-            state = ViewState(revision=self._revision_counter)
+            state = ViewState(
+                revision=self._revision_counter,
+                journal=DeltaJournal(self.journal_limit),
+            )
             self.states[name] = state
-        state.materialized = True
-        state.artifact = artifact
-        state.last_built_at = time.time()
-        state.last_build_seconds = elapsed
-        state.built_at_lsn = max(state.built_at_lsn, self.current_lsn())
-        state.builds += 1
-        self._record_watermark(name, state)
+        with self._state_lock(name):
+            state.materialized = True
+            state.artifact = artifact
+            state.last_built_at = time.time()
+            state.last_build_seconds = elapsed
+            state.built_at_lsn = max(state.built_at_lsn, self.current_lsn())
+            state.builds += 1
+            # A from-scratch build changes the artifact by an unknown extent
+            # relative to any previously served version: history restarts here.
+            state.journal.truncate(state.built_at_lsn)
+            self._seed_snapshot(name, definition)
+            self._record_watermark(name, state)
         return elapsed
 
     # -------------------------------------------------------------- #
@@ -353,28 +563,45 @@ class ViewManager:
         changed_entity_ids: Iterable[str],
         lsn: int | None = None,
         deleted_entity_ids: Iterable[str] = (),
+        added_entity_ids: Iterable[str] = (),
     ) -> dict[str, float]:
         """Accumulate a changed-entity delta for a later (or automatic) flush.
 
-        *deleted_entity_ids* must name entities removed from the stores: a
-        scope predicate that consults the store can no longer classify them,
-        so deletions conservatively widen the next flush to every
-        materialized view (they still reach ``update`` procedures as part of
-        the changed list).  Returns flush timings when the pending batch
-        reached ``batch_size`` and auto-flushed, an empty dict otherwise.
-        Deltas observed before any view is materialized are dropped: the
-        initial ``create`` reads current store state, so those changes are
-        already covered.
+        *deleted_entity_ids* must name entities removed from the stores; the
+        next flush resolves them against the pre-delete scope snapshots so
+        only the views that actually contained them are maintained (they
+        still reach ``update`` procedures as part of the changed list).
+        *added_entity_ids* classifies the subset of the changed ids that are
+        net-new, refining the delta journals downstream consumers read.
+        Returns flush timings when the pending batch reached ``batch_size``
+        and auto-flushed, an empty dict otherwise.  Deltas observed before
+        any view is materialized are dropped: the initial ``create`` reads
+        current store state, so those changes are already covered.
         """
         observed = int(lsn) if lsn is not None else self.current_lsn()
         self.delta_lsn = max(self.delta_lsn, observed)
         if not self._has_materialized():
             return {}
-        self._pending.update(changed_entity_ids)
+        changed = set(changed_entity_ids)
+        added = set(added_entity_ids)
         deleted = set(deleted_entity_ids)
-        self._pending.update(deleted)
-        self._pending_deleted.update(deleted)
+        self._pending.update(changed | added | deleted)
+        # Fold the event into the pending classification with the same net
+        # semantics as ViewDelta.merge: a delete followed by a re-add (or an
+        # update) resurrects the entity as net-added, never as net-deleted.
+        for entity_id in added:
+            self._pending_deleted.discard(entity_id)
+            self._pending_added.add(entity_id)
+        for entity_id in changed - added:
+            if entity_id in self._pending_deleted:
+                self._pending_deleted.discard(entity_id)
+                self._pending_added.add(entity_id)
+        for entity_id in deleted:
+            self._pending_added.discard(entity_id)
+            self._pending_deleted.add(entity_id)
         self._pending_lsn = max(self._pending_lsn, observed)
+        if not self._pending_first_lsn:
+            self._pending_first_lsn = observed
         self.deltas_observed += 1
         if self.batch_size is not None and len(self._pending) >= self.batch_size:
             return self.flush()
@@ -385,8 +612,9 @@ class ViewManager:
 
         Used for operations whose changed-entity set is unknown, e.g. a
         source removal that may touch arbitrary subjects.  Because no view's
-        incremental ``update`` procedure can be told *which* entities changed,
-        the flush rebuilds every view from scratch via ``create``.
+        incremental procedure can be told *which* entities changed, the flush
+        rebuilds every view from scratch via ``create`` and truncates the
+        delta journals.
         """
         observed = int(lsn) if lsn is not None else self.current_lsn()
         self.delta_lsn = max(self.delta_lsn, observed)
@@ -395,44 +623,66 @@ class ViewManager:
         self._pending_full = True
         self._pending_rebuild = True
         self._pending_lsn = max(self._pending_lsn, observed)
+        if not self._pending_first_lsn:
+            self._pending_first_lsn = observed
 
     def flush(self) -> dict[str, float]:
-        """Maintain the affected closure of the pending delta, topologically.
+        """Maintain the affected closure of the pending delta.
 
-        Only views affected by the batched changed entities (directly through
-        their scope or transitively through an affected dependency) are
-        rebuilt; every other materialized view merely advances its LSN
+        Only views affected by the batched delta (directly through their
+        scope or snapshot, or transitively through an affected dependency)
+        are maintained; every other materialized view merely advances its LSN
         watermark and counts a skipped update.  A view already at or beyond
         the batch's target LSN is not rebuilt unless the flush was forced by a
-        direct :meth:`update` call.
+        direct :meth:`update` call.  Independent branches of the affected
+        closure run in parallel when ``max_workers`` allows.
         """
         if not (self._pending or self._pending_full or self._pending_forced):
             return {}
         changed = sorted(self._pending)
+        added = set(self._pending_added)
         deleted = set(self._pending_deleted)
         forced = self._pending_forced
-        # Deleted entities can no longer be classified by store-derived scope
-        # predicates, so their presence widens the flush to every view.
-        full = self._pending_full or bool(deleted)
+        full = self._pending_full
         rebuild = self._pending_rebuild
+        first_lsn = self._pending_first_lsn
         self._local_lsn += 1
         target_lsn = self._pending_lsn or self.current_lsn()
+        delta = ViewDelta(
+            added=frozenset(added - deleted),
+            updated=frozenset(set(changed) - added - deleted),
+            deleted=frozenset(deleted),
+            first_lsn=first_lsn or target_lsn,
+            last_lsn=target_lsn,
+        )
         self._pending = set()
+        self._pending_added = set()
         self._pending_deleted = set()
         self._pending_lsn = 0
+        self._pending_first_lsn = 0
         self._pending_forced = False
         self._pending_full = False
         self._pending_rebuild = False
 
         try:
-            return self._flush_batch(changed, target_lsn, forced, full, rebuild)
+            return self._flush_batch(changed, delta, target_lsn, forced, full, rebuild)
         except Exception:
             # A failed flush must not lose the delta: restore it (merged with
             # anything enqueued by reentrant observers) so a retry still
-            # covers every pending change.
+            # covers every pending change.  The restore must respect the fold
+            # semantics — a reentrant re-add (or re-delete) of one of the
+            # batch's ids wins over the batch's older classification.
+            reentrant_added = set(self._pending_added)
+            reentrant_deleted = set(self._pending_deleted)
             self._pending.update(changed)
-            self._pending_deleted.update(deleted)
+            self._pending_added.update(added - reentrant_deleted)
+            self._pending_deleted.update(deleted - reentrant_added)
             self._pending_lsn = max(self._pending_lsn, target_lsn)
+            self._pending_first_lsn = (
+                min(self._pending_first_lsn, first_lsn)
+                if self._pending_first_lsn and first_lsn
+                else (self._pending_first_lsn or first_lsn)
+            )
             self._pending_forced = self._pending_forced or forced
             self._pending_full = self._pending_full or full
             self._pending_rebuild = self._pending_rebuild or rebuild
@@ -441,36 +691,165 @@ class ViewManager:
     def _flush_batch(
         self,
         changed: list[str],
+        delta: ViewDelta,
         target_lsn: int,
         forced: bool,
         full: bool,
         rebuild: bool,
     ) -> dict[str, float]:
-        closure = None if full else set(self.catalog.affected_closure(changed))
-        timings: dict[str, float] = {}
-        context = ViewContext(engines=self.engines, artifacts=self._artifacts())
+        closure = None if full else self._affected_closure(delta)
+        to_maintain: list[str] = []
         for name in self.catalog.execution_order():
             state = self.states.get(name)
             if state is None or not state.materialized:
                 continue
             if not (full or name in closure):
+                self.maintenance_decisions += 1
+                self.maintenance_skips += 1
                 state.skipped_updates += 1
                 if target_lsn > state.built_at_lsn:
-                    state.built_at_lsn = target_lsn
-                    self._record_watermark(name, state)
+                    with self._state_lock(name):
+                        state.built_at_lsn = target_lsn
+                        self._record_watermark(name, state)
                 continue
             if not forced and state.built_at_lsn >= target_lsn:
+                self.maintenance_decisions += 1
+                self.maintenance_skips += 1
                 state.skipped_updates += 1
                 continue
             definition = self.catalog.get(name)
             self._require_dependencies(name, definition)
-            timings[name] = self._maintain_view(
-                name, definition, state, context, changed, force_create=rebuild
-            )
-            state.built_at_lsn = max(state.built_at_lsn, target_lsn)
-            self._record_watermark(name, state)
+            to_maintain.append(name)
+        timings = self._run_schedule(to_maintain, changed, delta, target_lsn, rebuild)
         self.flushes += 1
         return timings
+
+    def _run_schedule(
+        self,
+        names: list[str],
+        changed: list[str],
+        delta: ViewDelta,
+        target_lsn: int,
+        rebuild: bool,
+    ) -> dict[str, float]:
+        """Run maintenance over the topological antichains of *names*.
+
+        Views inside one antichain (a ``topological_generations`` layer) have
+        no dependency edges between them, so they may run concurrently; the
+        barrier between antichains guarantees a dependent never starts before
+        every dependency has committed its artifact.  A failing view blocks
+        its own transitive dependents but sibling branches run to completion
+        before the first failure is re-raised (in topological order).
+        """
+        timings: dict[str, float] = {}
+        if not names:
+            return timings
+        context = ViewContext(engines=self.engines, artifacts=self._artifacts())
+        subgraph = self.catalog.dependency_graph().subgraph(names)
+        failures: dict[str, Exception] = {}
+        blocked: set[str] = set()
+        for generation in nx.topological_generations(subgraph):
+            runnable = []
+            for name in sorted(generation):
+                dependencies = self.catalog.get(name).dependencies
+                if any(dep in failures or dep in blocked for dep in dependencies):
+                    blocked.add(name)
+                    continue
+                runnable.append(name)
+            if not runnable:
+                continue
+            pool = self._flush_pool() if len(runnable) > 1 else None
+            if pool is not None:
+                futures = {
+                    name: pool.submit(
+                        self._maintain_one, name, context, changed, delta,
+                        target_lsn, rebuild,
+                    )
+                    for name in runnable
+                }
+                for name, future in futures.items():
+                    try:
+                        timings[name] = future.result()
+                    except Exception as exc:  # noqa: BLE001 - collected below
+                        failures[name] = exc
+            else:
+                for name in runnable:
+                    try:
+                        timings[name] = self._maintain_one(
+                            name, context, changed, delta, target_lsn, rebuild
+                        )
+                    except Exception as exc:  # noqa: BLE001 - collected below
+                        failures[name] = exc
+        if failures:
+            for name in names:
+                if name in failures:
+                    raise failures[name]
+        return timings
+
+    def _maintain_one(
+        self,
+        name: str,
+        context: ViewContext,
+        changed: list[str],
+        delta: ViewDelta,
+        target_lsn: int,
+        rebuild: bool,
+    ) -> float:
+        """Maintain one view and commit journal + watermark atomically."""
+        definition = self.catalog.get(name)
+        state = self.states[name]
+        projected = None if rebuild else self._project_delta(definition, delta)
+        incremental = not rebuild and (
+            definition.apply_delta is not None or definition.update is not None
+        )
+        if incremental and projected.is_empty() and not delta.is_empty():
+            # Only transitively affected, with nothing in its own scope: the
+            # dependency change's extent relative to this view's rows is
+            # unknown.  An apply_delta call would keep a stale artifact, and
+            # an update call may change rows while the empty projection
+            # journals nothing — either way downstream consumers would read a
+            # false "nothing changed".  Rebuild (and truncate) instead.
+            incremental = False
+        started = time.perf_counter()
+        if not incremental:
+            kind = "create"
+            artifact = definition.create(context)
+        elif definition.apply_delta is not None:
+            kind = "delta"
+            artifact = definition.apply_delta(context, projected)
+        else:
+            kind = "update"
+            artifact = definition.update(context, list(changed))
+        elapsed = time.perf_counter() - started
+        with self._state_lock(name):
+            if kind == "create":
+                state.builds += 1
+            elif kind == "delta":
+                state.delta_applies += 1
+            else:
+                state.incremental_updates += 1
+            if artifact is not None:
+                state.artifact = artifact
+                context.artifacts[name] = artifact
+            state.last_built_at = time.time()
+            state.last_build_seconds = elapsed
+            if kind == "create":
+                # The rebuild's change extent is unknown to consumers — even a
+                # delta-driven create may touch rows the delta does not name.
+                state.journal.truncate(target_lsn)
+                if rebuild:
+                    self._seed_snapshot(name, definition)
+                elif projected is not None:
+                    self._update_snapshot(name, definition, projected)
+            else:
+                state.journal.append(projected)
+                self._update_snapshot(name, definition, projected)
+            state.built_at_lsn = max(state.built_at_lsn, target_lsn)
+            self._record_watermark(name, state)
+        with self._counters_lock:
+            self.maintenance_decisions += 1
+            self.maintenance_rebuilds += 1
+        return elapsed
 
     def update(
         self,
@@ -483,9 +862,9 @@ class ViewManager:
         With ``selective=True`` only the affected closure is rebuilt; with
         ``selective=False`` every materialized view is maintained regardless
         of scope (the pre-selective behavior, kept for A/B measurement).
-        Views without an ``update`` procedure are rebuilt from scratch, which
-        is the fallback the paper allows for non-incrementally-maintainable
-        views (e.g. iterative algorithms).
+        Views without an ``apply_delta`` or ``update`` procedure are rebuilt
+        from scratch, which is the fallback the paper allows for
+        non-incrementally-maintainable views (e.g. iterative algorithms).
         """
         self._pending.update(changed_entity_ids)
         self._pending_forced = True
@@ -494,6 +873,95 @@ class ViewManager:
         if lsn is not None:
             self._pending_lsn = max(self._pending_lsn, int(lsn))
         return self.flush()
+
+    def _affected_closure(self, delta: ViewDelta) -> set[str]:
+        """Views the delta affects, resolved against pre-delete snapshots.
+
+        A scoped root is affected when the delta's changed ids intersect its
+        scope or its snapshot (an entity migrating out of scope must leave
+        the view), or when a deleted id was a snapshot member.  Deletions
+        against an incomplete snapshot stay conservative.  Unscoped views are
+        affected by any change, including any deletion.
+
+        Note the snapshot-membership check is only as complete as the
+        snapshot: without ``entity_source``, membership covers delta-observed
+        entities only, so a create-era entity migrating out of scope is not
+        detected (documented limitation; supply ``entity_source`` for full
+        migration tracking).
+        """
+        affected: set[str] = set()
+        has_changes = bool(delta.changed) or bool(delta.deleted)
+        for name in self.catalog.execution_order():
+            definition = self.catalog.get(name)
+            if any(dep in affected for dep in definition.dependencies):
+                affected.add(name)
+                continue
+            if definition.scope is None:
+                if has_changes:
+                    affected.add(name)
+                continue
+            snapshot = self._scope_snapshots.get(name)
+            members = snapshot.members if snapshot is not None else set()
+            if any(definition.scope(e) for e in delta.changed):
+                affected.add(name)
+                continue
+            if any(e in members for e in delta.changed):
+                affected.add(name)              # entity left the scope
+                continue
+            if delta.deleted:
+                if snapshot is None or not snapshot.complete:
+                    affected.add(name)          # cannot prove the delete missed us
+                elif any(e in members for e in delta.deleted):
+                    affected.add(name)
+        return affected
+
+    def _project_delta(self, definition: ViewDefinition, delta: ViewDelta) -> ViewDelta:
+        """Restrict a delta to one view's scope using its pre-delete snapshot."""
+        if definition.scope is None:
+            return delta
+        snapshot = self._scope_snapshots.get(definition.name)
+        members = snapshot.members if snapshot is not None else set()
+        complete = snapshot.complete if snapshot is not None else False
+        added: set[str] = set()
+        updated: set[str] = set()
+        deleted: set[str] = set()
+        for entity_id in delta.changed:
+            if definition.scope(entity_id):
+                (updated if entity_id in members else added).add(entity_id)
+            elif entity_id in members:
+                deleted.add(entity_id)          # migrated out of scope
+        for entity_id in delta.deleted:
+            if entity_id in members or not complete:
+                deleted.add(entity_id)
+        return ViewDelta(
+            added=frozenset(added),
+            updated=frozenset(updated),
+            deleted=frozenset(deleted),
+            first_lsn=delta.first_lsn,
+            last_lsn=delta.last_lsn,
+        )
+
+    def _seed_snapshot(self, name: str, definition: ViewDefinition) -> None:
+        """(Re)seed a view's scope snapshot from the entity enumeration."""
+        if definition.scope is None:
+            self._scope_snapshots.pop(name, None)
+            return
+        if self.entity_source is None:
+            snapshot = self._scope_snapshots.setdefault(name, ScopeSnapshot())
+            snapshot.complete = False
+            return
+        members = {e for e in self.entity_source() if definition.scope(e)}
+        self._scope_snapshots[name] = ScopeSnapshot(members=members, complete=True)
+
+    def _update_snapshot(
+        self, name: str, definition: ViewDefinition, projected: ViewDelta
+    ) -> None:
+        """Advance scope membership by one applied (already projected) delta."""
+        if definition.scope is None:
+            return
+        snapshot = self._scope_snapshots.setdefault(name, ScopeSnapshot())
+        snapshot.members |= projected.added | projected.updated
+        snapshot.members -= projected.deleted
 
     def _require_dependencies(self, name: str, definition: ViewDefinition) -> None:
         missing = [
@@ -506,30 +974,6 @@ class ViewManager:
                 f"cannot maintain view {name!r}: dependencies {missing} have never "
                 "been materialized — materialize them before updating dependents"
             )
-
-    def _maintain_view(
-        self,
-        name: str,
-        definition: ViewDefinition,
-        state: ViewState,
-        context: ViewContext,
-        changed: Sequence[str],
-        force_create: bool = False,
-    ) -> float:
-        started = time.perf_counter()
-        if definition.update is not None and not force_create:
-            artifact = definition.update(context, list(changed))
-            state.incremental_updates += 1
-        else:
-            artifact = definition.create(context)
-            state.builds += 1
-        elapsed = time.perf_counter() - started
-        if artifact is not None:
-            state.artifact = artifact
-            context.artifacts[name] = artifact
-        state.last_built_at = time.time()
-        state.last_build_seconds = elapsed
-        return elapsed
 
     # -------------------------------------------------------------- #
     # lifecycle
@@ -564,6 +1008,7 @@ class ViewManager:
         if state is not None and state.materialized:
             removed.append(name)
         self.states.pop(name, None)
+        self._scope_snapshots.pop(name, None)
         self._clear_watermark(name)
         return removed
 
@@ -578,6 +1023,7 @@ class ViewManager:
         state.materialized = False
         state.artifact = None
         state.invalidations += 1
+        self._scope_snapshots.pop(name, None)
         self._clear_watermark(name)
         return True
 
@@ -590,6 +1036,7 @@ class ViewManager:
         """
         for name in names:
             self.states.pop(name, None)
+            self._scope_snapshots.pop(name, None)
             self._clear_watermark(name)
 
     # -------------------------------------------------------------- #
@@ -620,6 +1067,25 @@ class ViewManager:
         """
         state = self.states.get(name)
         return state.revision if state is not None else 0
+
+    def view_deltas_since(self, name: str, lsn: int) -> ViewDelta | None:
+        """Net per-view delta applied after *lsn*, from the view's journal.
+
+        Returns ``None`` when the journal cannot cover the gap (the view was
+        rebuilt from scratch since *lsn*, compaction passed it, or the view
+        is unknown/unmaterialized) — the consumer must fall back to a full
+        artifact reload.  An *empty* delta is a positive answer: nothing in
+        the artifact changed, only the watermark moved.
+        """
+        state = self.states.get(name)
+        if state is None or not state.materialized:
+            return None
+        with self._state_lock(name):
+            return state.journal.since(lsn)
+
+    def scope_snapshot(self, name: str) -> ScopeSnapshot | None:
+        """The pre-delete scope snapshot tracked for *name* (read-only use)."""
+        return self._scope_snapshots.get(name)
 
     def current_lsn(self) -> int:
         """The log position maintenance is stamped against right now."""
@@ -663,9 +1129,13 @@ class ViewManager:
                 "materialized": state.materialized,
                 "builds": state.builds,
                 "incremental_updates": state.incremental_updates,
+                "delta_applies": state.delta_applies,
                 "skipped_updates": state.skipped_updates,
                 "invalidations": state.invalidations,
                 "built_at_lsn": state.built_at_lsn,
+                "journal_entries": len(state.journal.entries),
+                "journal_floor_lsn": state.journal.floor_lsn,
+                "journal_compactions": state.journal.compactions,
             }
             for name, state in sorted(self.states.items())
         }
@@ -673,16 +1143,45 @@ class ViewManager:
     # -------------------------------------------------------------- #
     # internals
     # -------------------------------------------------------------- #
+    def close(self) -> None:
+        """Release the flush thread pool (idempotent; recreated on demand)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _flush_pool(self) -> ThreadPoolExecutor | None:
+        """The manager-lifetime flush pool (lazily created, reused per flush)."""
+        if self.max_workers is None or self.max_workers <= 1:
+            return None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="view-flush"
+            )
+            # Reap the workers when the manager is collected, not at exit.
+            weakref.finalize(self, self._pool.shutdown, wait=False)
+        return self._pool
+
+    def _state_lock(self, name: str) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._state_locks.get(name)
+            if lock is None:
+                lock = self._state_locks[name] = threading.Lock()
+        return lock
+
     def _has_materialized(self) -> bool:
         return any(state.materialized for state in self.states.values())
 
     def _record_watermark(self, name: str, state: ViewState) -> None:
         if self.metadata is not None:
             self.metadata.update_view_watermark(name, state.built_at_lsn)
+            self.metadata.update_view_journal_mark(
+                name, state.journal.high_water_mark()
+            )
 
     def _clear_watermark(self, name: str) -> None:
         if self.metadata is not None:
             self.metadata.clear_view_watermark(name)
+            self.metadata.clear_view_journal_mark(name)
 
     def _artifacts(self) -> dict[str, object]:
         return {

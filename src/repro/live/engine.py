@@ -62,6 +62,8 @@ class LiveGraphEngine:
         self.curation = CurationPipeline()
         self._feed_documents: dict[str, set[str]] = {}   # feed -> served doc ids
         self._feed_revisions: dict[str, int] = {}        # feed -> view state revision
+        self.view_feed_incremental_loads = 0             # journal-delta catch-ups
+        self.view_feed_full_loads = 0                    # full artifact rewrites
 
     # -------------------------------------------------------------- #
     # construction
@@ -114,14 +116,20 @@ class LiveGraphEngine:
         ``subject`` key, like the standard ``entity_features`` view).  Each
         row becomes a live document keyed ``{view_name}:{subject}``.  The
         view's ``built_at_lsn`` watermark gates the load: when the serving
-        copy already reflects that log position, nothing is reloaded.
-        Reading the artifact raises :class:`~repro.errors.ViewError` if the
-        view (or, via cascade invalidation, one of its dependencies) was
-        dropped — the live layer can never serve stale dropped-view results.
+        copy already reflects that log position, nothing is reloaded.  When
+        the view's delta journal can answer "what changed since the version
+        this feed serves", only the journaled rows are rewritten instead of
+        re-diffing the full artifact; a journal gap (the view was rebuilt
+        from scratch, or the feed fell behind compaction) falls back to the
+        full rewrite.  Reading the artifact raises
+        :class:`~repro.errors.ViewError` if the view (or, via cascade
+        invalidation, one of its dependencies) was dropped — the live layer
+        can never serve stale dropped-view results.
         """
         rows = graph_engine.view_artifact(view_name)
-        version = graph_engine.view_manager.built_at_lsn(view_name)
-        revision = graph_engine.view_manager.state_revision(view_name)
+        manager = graph_engine.view_manager
+        version = manager.built_at_lsn(view_name)
+        revision = manager.state_revision(view_name)
         feed = f"view:{view_name}"
         # Skip only when both the log position AND the state revision are
         # unchanged: a re-registered view rebuilt at the same LSN is new data.
@@ -135,6 +143,14 @@ class LiveGraphEngine:
             raise LiveGraphError(
                 f"view artifact {view_name!r} is not row-shaped; cannot serve it live"
             )
+        served_version = self.index.watermark(feed)
+        delta = None
+        if served_version and self._feed_revisions.get(feed) == revision:
+            delta = manager.view_deltas_since(view_name, served_version)
+        if delta is not None:
+            return self._apply_view_delta(
+                graph_engine, view_name, feed, rows, delta, version, entity_type
+            )
         # Validate every row before touching the index: a malformed artifact
         # must not leave a half-rewritten feed behind.
         for row in rows:
@@ -145,38 +161,82 @@ class LiveGraphEngine:
         loaded = 0
         fresh_ids: set[str] = set()
         for row in rows:
-            types = row.get("types") or []
-            facts = {
-                key: list(value) if isinstance(value, (list, tuple)) else [value]
-                for key, value in row.items()
-                if key not in ("subject", "name", "types") and value not in (None, "")
-            }
-            document = LiveEntityDocument(
-                entity_id=f"{view_name}:{row['subject']}",
-                entity_type=str(types[0]) if types else entity_type,
-                name=str(row.get("name", "")),
-                facts=facts,
-                source_id=feed,
-                timestamp=version,
-                is_live=False,
-            )
-            # View rows are authoritative: replace the KV document rather
-            # than merge, so predicates dropped from a row do not survive the
-            # reload.  KV-level delete suffices — upsert re-indexes the
-            # document, which already clears its old postings.
-            self.index.kv.delete(document.entity_id)
-            self.index.upsert(document)
+            document = self._view_row_document(view_name, feed, row, version, entity_type)
+            self.index.replace(document)
             fresh_ids.add(document.entity_id)
             loaded += 1
         # Rows that vanished from the artifact (e.g. deleted entities) must
         # stop being served.
-        for stale_id in self._feed_documents.get(feed, set()) - fresh_ids:
-            self.index.delete(stale_id)
+        self.index.delete_many(self._feed_documents.get(feed, set()) - fresh_ids)
         self._feed_documents[feed] = fresh_ids
         self._feed_revisions[feed] = revision
         self.index.set_watermark(feed, version)
         self.executor.invalidate_cache()
+        self.view_feed_full_loads += 1
         return loaded
+
+    def _apply_view_delta(
+        self, graph_engine, view_name: str, feed: str, rows, delta, version: int,
+        entity_type: str,
+    ) -> int:
+        """Catch a view feed up by rewriting only the journaled rows."""
+        # Validate every row before touching the index — same contract as the
+        # full-load path: a malformed artifact (e.g. a buggy apply_delta
+        # corrupting one row) must fail loudly, not silently unserve entities.
+        by_subject = {}
+        for row in rows:
+            if not isinstance(row, dict) or "subject" not in row:
+                raise LiveGraphError(
+                    f"view artifact {view_name!r} rows need a 'subject' key to be served"
+                )
+            by_subject[row["subject"]] = row
+        served = self._feed_documents.setdefault(feed, set())
+        loaded = 0
+        touched = False
+        for subject in sorted(delta.changed):
+            doc_id = f"{view_name}:{subject}"
+            row = by_subject.get(subject)
+            if row is None:
+                # The row left the artifact without a journaled delete (e.g.
+                # an incremental builder pruning beyond its scope): stop
+                # serving it rather than serve a stale copy.
+                touched |= self.index.delete(doc_id)
+                served.discard(doc_id)
+                continue
+            document = self._view_row_document(view_name, feed, row, version, entity_type)
+            self.index.replace(document)
+            served.add(doc_id)
+            loaded += 1
+            touched = True
+        for subject in sorted(delta.deleted):
+            doc_id = f"{view_name}:{subject}"
+            touched |= self.index.delete(doc_id)
+            served.discard(doc_id)
+        self.index.set_watermark(feed, version)
+        if touched:
+            self.executor.invalidate_cache()
+        self.view_feed_incremental_loads += 1
+        return loaded
+
+    @staticmethod
+    def _view_row_document(
+        view_name: str, feed: str, row: dict, version: int, entity_type: str
+    ) -> LiveEntityDocument:
+        types = row.get("types") or []
+        facts = {
+            key: list(value) if isinstance(value, (list, tuple)) else [value]
+            for key, value in row.items()
+            if key not in ("subject", "name", "types") and value not in (None, "")
+        }
+        return LiveEntityDocument(
+            entity_id=f"{view_name}:{row['subject']}",
+            entity_type=str(types[0]) if types else entity_type,
+            name=str(row.get("name", "")),
+            facts=facts,
+            source_id=feed,
+            timestamp=version,
+            is_live=False,
+        )
 
     def ingest_events(self, events: Iterable[LiveEvent], screen: bool = True) -> int:
         """Ingest streaming events, optionally screening them for curation."""
@@ -269,4 +329,6 @@ class LiveGraphEngine:
             "p95_latency_ms": self.latency_p95_ms(),
             "quarantined_facts": len(self.curation.pending()),
             "feed_watermarks": dict(self.index.watermarks),
+            "view_feed_incremental_loads": self.view_feed_incremental_loads,
+            "view_feed_full_loads": self.view_feed_full_loads,
         }

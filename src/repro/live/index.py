@@ -233,6 +233,22 @@ class LiveIndex:
         if merged is not None:
             self.inverted.index_document(merged)
 
+    def replace(self, document: LiveEntityDocument) -> None:
+        """Authoritatively replace a document, discarding any prior state.
+
+        Unlike :meth:`upsert` (which merge-updates streaming documents), a
+        replace serves feeds whose rows are the whole truth — view artifacts —
+        so predicates dropped from a row do not survive the reload.  KV-level
+        delete suffices: the subsequent upsert re-indexes the document, which
+        already clears its old postings.
+        """
+        self.kv.delete(document.entity_id)
+        self.upsert(document)
+
+    def delete_many(self, entity_ids: Iterable[str]) -> int:
+        """Delete several documents; returns how many actually existed."""
+        return sum(1 for entity_id in entity_ids if self.delete(entity_id))
+
     def upsert_many(self, documents: Iterable[LiveEntityDocument]) -> int:
         """Upsert several documents; returns how many were written."""
         count = 0

@@ -1,0 +1,719 @@
+"""Property-based view-invariant suite (seeded operation sequences).
+
+Random interleavings of enqueue / flush / delete / drop / re-register /
+re-materialize are replayed against a model store, and after every flush the
+suite asserts the four core invariants of incremental view maintenance:
+
+1. **Equivalence** — every materialized artifact equals a from-scratch
+   rebuild from current store state, whether it was maintained through
+   ``apply_delta``, ``update``, or ``create``.
+2. **Monotonicity** — ``built_at_lsn`` never moves backwards within one state
+   lineage (a drop / re-registration starts a new revision).
+3. **No ghosts** — no view serves rows for deleted entities.
+4. **Accounting** — skip counters plus rebuild counters sum to the total
+   maintenance decisions the flushes made.
+
+The sequence count is controlled by ``--runs-seeded`` (default 25; the bare
+flag, as used in CI, runs 200).  The same module hosts the concurrency tests
+for parallel branch flushing and the no-op-deletion regression tests.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.engine.graph_engine import GraphEngine
+from repro.engine.metadata import MetadataStore
+from repro.engine.views import (
+    DeltaJournal,
+    ViewCatalog,
+    ViewDefinition,
+    ViewDelta,
+    ViewManager,
+)
+from repro.live.engine import LiveGraphEngine
+from repro.model.provenance import Provenance
+from repro.model.triples import ExtendedTriple, TripleStore
+
+
+def pytest_generate_tests(metafunc):
+    runs = int(metafunc.config.getoption("--runs-seeded"))
+    if "op_seed" in metafunc.fixturenames:
+        metafunc.parametrize("op_seed", range(runs))
+    if "live_seed" in metafunc.fixturenames:
+        # The end-to-end live sequences are heavier; cap their count.
+        metafunc.parametrize("live_seed", range(min(runs, 60)))
+
+
+# ------------------------------------------------------------------ #
+# model harness
+# ------------------------------------------------------------------ #
+TYPES = ("alpha", "beta", "gamma")
+
+
+class ModelStore:
+    """Tiny mutable entity store the harness views read from."""
+
+    def __init__(self):
+        self.entities: dict[str, dict] = {}   # id -> {"type": str, "value": int}
+
+    def subjects(self):
+        return list(self.entities)
+
+    def of_type(self, entity_type):
+        return sorted(
+            eid for eid, fields in self.entities.items()
+            if fields["type"] == entity_type
+        )
+
+
+def _row(store: ModelStore, eid: str) -> dict:
+    return {"subject": eid, "value": store.entities[eid]["value"]}
+
+
+def _typed_rows(store: ModelStore, entity_type: str) -> dict:
+    return {eid: _row(store, eid) for eid in store.of_type(entity_type)}
+
+
+def build_harness(store: ModelStore, max_workers=None, with_unscoped=False):
+    """Register the harness views and return (catalog, manager).
+
+    ``alpha_rows`` maintains through ``apply_delta`` (journal append path),
+    ``beta_rows`` through ``update`` (journal append path), ``gamma_rows``
+    through ``create`` only (journal truncate path), and ``pair_index``
+    depends on the first two with an always-false scope (transitive path).
+    """
+    catalog = ViewCatalog()
+
+    def scope_for(entity_type):
+        def scope(eid, entity_type=entity_type):
+            fields = store.entities.get(eid)
+            return fields is not None and fields["type"] == entity_type
+        return scope
+
+    def alpha_create(context):
+        return _typed_rows(store, "alpha")
+
+    def alpha_apply(context, delta: ViewDelta):
+        artifact = dict(context.artifact("alpha_rows"))
+        for eid in delta.changed:
+            artifact[eid] = _row(store, eid)
+        for eid in delta.deleted:
+            artifact.pop(eid, None)
+        return artifact
+
+    catalog.register(ViewDefinition(
+        "alpha_rows", "analytics", create=alpha_create, apply_delta=alpha_apply,
+        scope=scope_for("alpha"),
+    ))
+
+    def beta_create(context):
+        return _typed_rows(store, "beta")
+
+    def beta_update(context, changed):
+        artifact = dict(context.artifact("beta_rows"))
+        for eid in changed:
+            fields = store.entities.get(eid)
+            if fields is not None and fields["type"] == "beta":
+                artifact[eid] = _row(store, eid)
+            else:
+                artifact.pop(eid, None)
+        return artifact
+
+    catalog.register(ViewDefinition(
+        "beta_rows", "analytics", create=beta_create, update=beta_update,
+        scope=scope_for("beta"),
+    ))
+
+    catalog.register(ViewDefinition(
+        "gamma_rows", "analytics",
+        create=lambda ctx: _typed_rows(store, "gamma"),
+        scope=scope_for("gamma"),
+    ))
+
+    catalog.register(ViewDefinition(
+        "pair_index", "analytics",
+        create=lambda ctx: {
+            "alpha": sorted(ctx.artifact("alpha_rows")),
+            "beta": sorted(ctx.artifact("beta_rows")),
+        },
+        dependencies=("alpha_rows", "beta_rows"),
+        scope=lambda eid: False,
+    ))
+
+    if with_unscoped:
+        catalog.register(ViewDefinition(
+            "total_count", "analytics",
+            create=lambda ctx: len(store.entities),
+        ))
+
+    clock = {"lsn": 0}
+    manager = ViewManager(
+        catalog, engines={}, metadata=MetadataStore(),
+        lsn_source=lambda: clock["lsn"],
+        entity_source=store.subjects,
+        max_workers=max_workers,
+        journal_limit=4,            # tiny, so sequences exercise compaction
+    )
+    return catalog, manager, clock
+
+
+def expected_artifact(store: ModelStore, name: str):
+    if name == "alpha_rows":
+        return _typed_rows(store, "alpha")
+    if name == "beta_rows":
+        return _typed_rows(store, "beta")
+    if name == "gamma_rows":
+        return _typed_rows(store, "gamma")
+    if name == "pair_index":
+        return {"alpha": store.of_type("alpha"), "beta": store.of_type("beta")}
+    if name == "total_count":
+        return len(store.entities)
+    raise AssertionError(f"no expectation for view {name!r}")
+
+
+def check_invariants(store, catalog, manager, watermark_history):
+    for name in catalog.names():
+        if not manager.is_materialized(name):
+            continue
+        state = manager.states[name]
+        # 1. incremental artifact ≡ from-scratch rebuild
+        assert manager.artifact(name) == expected_artifact(store, name), name
+        # 3. no view serves rows for deleted entities
+        if name.endswith("_rows"):
+            assert set(manager.artifact(name)) <= set(store.entities), name
+        # 2. built_at_lsn monotone within one state lineage
+        key = (name, state.revision)
+        assert state.built_at_lsn >= watermark_history.get(key, 0), name
+        watermark_history[key] = state.built_at_lsn
+        assert state.journal.floor_lsn <= state.built_at_lsn, name
+    # 4. skip + rebuild counters account for every maintenance decision
+    assert manager.maintenance_decisions == (
+        manager.maintenance_skips + manager.maintenance_rebuilds
+    )
+
+
+# ------------------------------------------------------------------ #
+# the seeded property suite
+# ------------------------------------------------------------------ #
+def test_random_op_sequences_preserve_view_invariants(op_seed):
+    rng = random.Random(op_seed)
+    store = ModelStore()
+    catalog, manager, clock = build_harness(
+        store,
+        max_workers=2 if op_seed % 3 == 0 else None,
+        with_unscoped=op_seed % 2 == 1,
+    )
+    counter = 0
+    graveyard: list[str] = []               # deleted ids eligible for revival
+    for _ in range(rng.randint(3, 8)):      # initial population
+        counter += 1
+        store.entities[f"e{counter}"] = {"type": rng.choice(TYPES), "value": counter}
+    manager.materialize()
+    watermark_history: dict[tuple, int] = {}
+    expected_decisions = 0
+
+    def any_materialized():
+        return any(manager.is_materialized(n) for n in catalog.names())
+
+    def enqueue(changed=(), deleted=(), added=()):
+        clock["lsn"] += 1
+        manager.enqueue(changed, lsn=clock["lsn"], deleted_entity_ids=deleted,
+                        added_entity_ids=added)
+
+    for _ in range(rng.randint(25, 45)):
+        op = rng.choices(
+            ["add", "update", "retype", "delete", "revive", "flush", "drop",
+             "rematerialize", "reregister"],
+            weights=[18, 18, 10, 15, 8, 25, 4, 8, 3],
+        )[0]
+        if op == "add":
+            counter += 1
+            eid = f"e{counter}"
+            store.entities[eid] = {"type": rng.choice(TYPES), "value": counter}
+            enqueue([eid], added=[eid])
+        elif op == "revive" and graveyard:
+            # re-add a previously deleted id, possibly within the same batch
+            # as its deletion — the pending fold must net it to "added"
+            eid = graveyard.pop(rng.randrange(len(graveyard)))
+            counter += 1
+            store.entities[eid] = {"type": rng.choice(TYPES), "value": counter}
+            enqueue([eid], added=[eid])
+        elif op == "update" and store.entities:
+            eid = rng.choice(sorted(store.entities))
+            store.entities[eid]["value"] += 1
+            enqueue([eid])
+        elif op == "retype" and store.entities:
+            eid = rng.choice(sorted(store.entities))
+            store.entities[eid]["type"] = rng.choice(TYPES)
+            enqueue([eid])
+        elif op == "delete" and store.entities:
+            eid = rng.choice(sorted(store.entities))
+            del store.entities[eid]
+            graveyard.append(eid)
+            enqueue(deleted=[eid])
+        elif op == "flush":
+            if manager.pending_changes():
+                expected_decisions += sum(
+                    1 for n in catalog.names() if manager.is_materialized(n)
+                )
+            manager.flush()
+            check_invariants(store, catalog, manager, watermark_history)
+        elif op == "drop":
+            name = rng.choice(catalog.names())
+            if manager.is_materialized(name):
+                manager.drop(name)
+        elif op == "rematerialize":
+            manager.materialize()
+            check_invariants(store, catalog, manager, watermark_history)
+        elif op == "reregister":
+            # swap in an equivalent definition: resets the view + dependents
+            fresh_catalog, _, _ = build_harness(store)
+            name = rng.choice(["alpha_rows", "beta_rows", "gamma_rows"])
+            catalog.register(fresh_catalog.get(name))
+
+    # drain whatever is still pending, then check everything one last time
+    if manager.pending_changes():
+        expected_decisions += sum(
+            1 for n in catalog.names() if manager.is_materialized(n)
+        )
+    manager.flush()
+    manager.materialize()
+    check_invariants(store, catalog, manager, watermark_history)
+    assert manager.maintenance_decisions == expected_decisions
+
+
+def test_delete_then_readd_in_one_batch_nets_to_added():
+    """Regression: the pending fold must resurrect a deleted-then-re-added
+    entity as net-added, not drop it as net-deleted (which made apply_delta
+    views lose the re-added row)."""
+    store = ModelStore()
+    store.entities["x"] = {"type": "alpha", "value": 1}
+    store.entities["y"] = {"type": "alpha", "value": 2}
+    catalog, manager, clock = build_harness(store)
+    manager.materialize()
+    del store.entities["x"]
+    clock["lsn"] = 2
+    manager.enqueue([], lsn=2, deleted_entity_ids=["x"])
+    store.entities["x"] = {"type": "alpha", "value": 99}     # re-ingested
+    clock["lsn"] = 3
+    manager.enqueue(["x"], lsn=3, added_entity_ids=["x"])
+    manager.flush()
+    assert manager.artifact("alpha_rows") == _typed_rows(store, "alpha")
+    assert manager.artifact("alpha_rows")["x"]["value"] == 99
+    # the journal reports it as net-changed for serving-layer consumers (the
+    # projection calls it "updated": the un-flushed delete means the view's
+    # artifact still held x's row, so the serving copy sees a replace)
+    delta = manager.view_deltas_since("alpha_rows", 1)
+    assert delta is not None and "x" in delta.changed and "x" not in delta.deleted
+
+
+def test_mis_scoped_apply_delta_dependent_rebuilds_instead_of_going_stale():
+    """A transitively affected apply_delta view whose own projection is empty
+    must fall back to create: an empty-delta apply would silently keep a
+    stale artifact while the watermark advances."""
+    store = ModelStore()
+    store.entities["a1"] = {"type": "alpha", "value": 1}
+    catalog = ViewCatalog()
+    clock = {"lsn": 1}
+
+    def scope_alpha(eid):
+        fields = store.entities.get(eid)
+        return fields is not None and fields["type"] == "alpha"
+
+    catalog.register(ViewDefinition(
+        "alpha_rows", "analytics",
+        create=lambda ctx: _typed_rows(store, "alpha"), scope=scope_alpha,
+    ))
+    def total(ctx):
+        return sum(r["value"] for r in ctx.artifact("alpha_rows").values())
+
+    catalog.register(ViewDefinition(
+        "alpha_total", "analytics", create=total,
+        # deliberately mis-scoped: its rows derive from alpha entities but
+        # the scope admits nothing, so projections are always empty
+        apply_delta=lambda ctx, delta: ctx.artifact("alpha_total"),
+        dependencies=("alpha_rows",), scope=lambda eid: False,
+    ))
+    # same hazard through the legacy update procedure: it recomputes the
+    # artifact, but an empty projection would journal "nothing changed"
+    catalog.register(ViewDefinition(
+        "alpha_total_upd", "analytics", create=total,
+        update=lambda ctx, changed: total(ctx),
+        dependencies=("alpha_rows",), scope=lambda eid: False,
+    ))
+    manager = ViewManager(catalog, engines={}, lsn_source=lambda: clock["lsn"],
+                          entity_source=store.subjects)
+    manager.materialize()
+    assert manager.artifact("alpha_total") == 1
+    store.entities["a1"]["value"] = 100
+    clock["lsn"] = 2
+    manager.enqueue(["a1"], lsn=2)
+    manager.flush()
+    for name in ("alpha_total", "alpha_total_upd"):
+        assert manager.artifact(name) == 100                 # rebuilt, not stale
+        assert manager.states[name].builds == 2
+        assert manager.states[name].delta_applies == 0
+        assert manager.states[name].incremental_updates == 0
+        # the journal refuses an incremental answer rather than lying
+        assert manager.view_deltas_since(name, 1) is None
+
+
+def test_failed_flush_restore_respects_reentrant_readds():
+    """A reentrant re-add observed during a failing flush must survive the
+    delta restore as net-added — not be clobbered back to net-deleted."""
+    store = ModelStore()
+    store.entities["x"] = {"type": "alpha", "value": 1}
+    catalog, manager, clock = build_harness(store)
+    trap = {"armed": False}
+
+    def booby_trapped_create(context):
+        if trap["armed"]:
+            trap["armed"] = False
+            # a reentrant observer re-ingests the entity mid-flush...
+            store.entities["x"] = {"type": "alpha", "value": 99}
+            clock["lsn"] += 1
+            manager.enqueue(["x"], lsn=clock["lsn"], added_entity_ids=["x"])
+            raise RuntimeError("store hiccup")
+        return len(store.entities)
+
+    catalog.register(ViewDefinition("trap", "analytics", create=booby_trapped_create))
+    manager.materialize()
+    del store.entities["x"]
+    clock["lsn"] += 1
+    manager.enqueue([], lsn=clock["lsn"], deleted_entity_ids=["x"])
+    trap["armed"] = True
+    with pytest.raises(RuntimeError, match="store hiccup"):
+        manager.flush()
+    assert "x" in manager.pending_changes()
+    manager.flush()
+    assert manager.artifact("alpha_rows") == _typed_rows(store, "alpha")
+    assert manager.artifact("alpha_rows")["x"]["value"] == 99
+
+
+def test_delta_journal_merge_and_compaction_semantics():
+    journal = DeltaJournal(max_entries=4)
+    for lsn in range(1, 8):
+        journal.append(ViewDelta(
+            added=frozenset({f"e{lsn}"}),
+            deleted=frozenset({f"e{lsn - 1}"}) if lsn > 1 else frozenset(),
+            first_lsn=lsn, last_lsn=lsn,
+        ))
+    assert journal.compactions >= 1
+    assert len(journal.entries) <= 4 + 1
+    merged = journal.since(0)
+    # net effect: only the last added entity survives, everything prior deleted
+    assert merged is not None
+    assert merged.added == frozenset({"e7"})
+    assert merged.deleted == frozenset({f"e{i}" for i in range(1, 7)})
+    # history below the floor is refused after truncation
+    journal.truncate(10)
+    assert journal.since(9) is None
+    assert journal.since(10) is not None and journal.since(10).is_empty()
+    assert journal.high_water_mark() == 10
+
+
+# ------------------------------------------------------------------ #
+# end-to-end: live serving consumes per-view journal deltas
+# ------------------------------------------------------------------ #
+def _triple(subject, predicate, obj, source="wiki"):
+    return ExtendedTriple(subject=subject, predicate=predicate, obj=obj,
+                          provenance=Provenance.from_source(source, 0.9))
+
+
+def _register_song_rows(engine: GraphEngine) -> None:
+    def rows_for(subjects):
+        rows = []
+        for subject in subjects:
+            rows.append({
+                "subject": subject,
+                "name": str(engine.triples.value_of(subject, "name") or ""),
+                "plays": engine.triples.value_of(subject, "plays") or 0,
+            })
+        return rows
+
+    def create(context):
+        subjects = [s for s in engine.triples.subjects()
+                    if engine.triples.value_of(s, "type") == "song"]
+        return sorted(rows_for(subjects), key=lambda row: row["subject"])
+
+    def apply_delta(context, delta: ViewDelta):
+        by_subject = {row["subject"]: row for row in context.artifact("song_rows")}
+        for subject, row in zip(sorted(delta.changed), rows_for(sorted(delta.changed))):
+            by_subject[subject] = row
+        for subject in delta.deleted:
+            by_subject.pop(subject, None)
+        return [by_subject[s] for s in sorted(by_subject)]
+
+    engine.register_view(ViewDefinition(
+        "song_rows", "analytics", create=create, apply_delta=apply_delta,
+        scope=lambda eid: engine.triples.value_of(eid, "type") == "song",
+    ))
+
+
+def _served_docs(live: LiveGraphEngine, feed_ids) -> dict:
+    return {
+        doc_id: (doc.name, {k: list(v) for k, v in sorted(doc.facts.items())})
+        for doc_id in sorted(feed_ids)
+        for doc in [live.index.get(doc_id)]
+        if doc is not None
+    }
+
+
+def test_live_delta_consumption_matches_full_reload(live_seed, ontology):
+    rng = random.Random(1000 + live_seed)
+    source = TripleStore()
+    engine = GraphEngine(ontology)
+    _register_song_rows(engine)
+    live = LiveGraphEngine()
+
+    songs: list[str] = []
+    counter = 0
+
+    def add_song():
+        nonlocal counter
+        counter += 1
+        subject = f"kg:s{counter}"
+        source.add(_triple(subject, "type", "song"))
+        source.add(_triple(subject, "name", f"Song {counter}"))
+        source.add(_triple(subject, "plays", counter))
+        songs.append(subject)
+        engine.publish_subjects(source, [subject])
+
+    def update_song():
+        subject = rng.choice(songs)
+        source.remove_subject(subject)
+        source.add(_triple(subject, "type", "song"))
+        source.add(_triple(subject, "name", f"Song {subject[-1]}*"))
+        source.add(_triple(subject, "plays", rng.randint(1, 100)))
+        engine.publish_subjects(source, [subject])
+
+    def delete_song():
+        subject = songs.pop(rng.randrange(len(songs)))
+        source.remove_subject(subject)
+        engine.publish_subjects(source, [], deleted_subjects=[subject])
+
+    def add_other():
+        nonlocal counter
+        counter += 1
+        subject = f"kg:x{counter}"
+        source.add(_triple(subject, "type", "label"))
+        source.add(_triple(subject, "name", f"Label {counter}"))
+        engine.publish_subjects(source, [subject])
+
+    for _ in range(rng.randint(2, 4)):
+        add_song()
+    add_other()
+    engine.materialize_views()
+    assert live.load_view_artifact(engine, "song_rows") == len(songs)
+
+    for _ in range(rng.randint(6, 12)):
+        op = rng.choices(["add", "update", "delete", "other"],
+                         weights=[30, 35, 20, 15])[0]
+        if op == "add":
+            add_song()
+        elif op == "update" and songs:
+            update_song()
+        elif op == "delete" and songs:
+            delete_song()
+        else:
+            add_other()
+        if rng.random() < 0.6:
+            engine.update_views()
+            live.load_view_artifact(engine, "song_rows")
+            # a fresh consumer full-loading the artifact must agree exactly
+            reference = LiveGraphEngine()
+            reference.load_view_artifact(engine, "song_rows")
+            feed = "view:song_rows"
+            assert _served_docs(live, live._feed_documents.get(feed, set())) == (
+                _served_docs(reference, reference._feed_documents.get(feed, set()))
+            )
+            assert set(live._feed_documents.get(feed, set())) == {
+                f"song_rows:{s}" for s in songs
+            }
+
+    engine.update_views()
+    loaded = live.load_view_artifact(engine, "song_rows")
+    assert loaded <= len(songs)
+    # the apply_delta view was never rebuilt wholesale after materialization,
+    # so every catch-up after the first load rode the journal
+    assert engine.view_manager.states["song_rows"].builds == 1
+    assert live.view_feed_full_loads == 1
+    assert live.view_feed_incremental_loads >= 1
+
+
+# ------------------------------------------------------------------ #
+# concurrency: parallel branch flushing
+# ------------------------------------------------------------------ #
+def _branch_catalog(events, barrier=None, fail_on=()):
+    """Two independent branches: (a_root -> a_child) and (b_root -> b_child)."""
+    catalog = ViewCatalog()
+
+    def recording(name, result, wait=False):
+        def run(context, changed=None):
+            events.append((name, "start", time.monotonic()))
+            if name in fail_on:
+                events.append((name, "fail", time.monotonic()))
+                raise RuntimeError(f"{name} branch down")
+            if wait and barrier is not None:
+                barrier.wait(timeout=10)
+            events.append((name, "end", time.monotonic()))
+            return result
+        return run
+
+    def child_create(branch):
+        def create(context):
+            events.append((f"{branch}_child", "start", time.monotonic()))
+            artifact = context.artifact(f"{branch}_root") + "/child"
+            events.append((f"{branch}_child", "end", time.monotonic()))
+            return artifact
+        return create
+
+    for branch in ("a", "b"):
+        catalog.register(ViewDefinition(
+            f"{branch}_root", "analytics",
+            create=lambda ctx, branch=branch: f"{branch}0",
+            update=recording(f"{branch}_root", f"{branch}1", wait=True),
+            scope=lambda eid, branch=branch: eid.startswith(f"{branch}:"),
+        ))
+        catalog.register(ViewDefinition(
+            f"{branch}_child", "analytics",
+            create=child_create(branch),
+            dependencies=(f"{branch}_root",),
+            scope=lambda eid: False,
+        ))
+    return catalog
+
+
+def test_parallel_flush_overlaps_branches_without_reordering_dependencies():
+    events: list = []
+    barrier = threading.Barrier(2)    # both roots must be in flight at once
+    catalog = _branch_catalog(events, barrier=barrier)
+    clock = {"lsn": 1}
+    manager = ViewManager(catalog, engines={}, lsn_source=lambda: clock["lsn"],
+                          max_workers=2)
+    manager.materialize()
+    clock["lsn"] = 2
+    manager.enqueue(["a:1", "b:1"], lsn=2)
+    timings = manager.flush()   # would raise BrokenBarrierError if serial
+    assert set(timings) == {"a_root", "a_child", "b_root", "b_child"}
+    stamps = {(name, phase): stamp for name, phase, stamp in events}
+    for branch in ("a", "b"):
+        # a dependent never starts before its dependency committed
+        assert stamps[(f"{branch}_root", "end")] <= stamps[(f"{branch}_child", "start")]
+    assert manager.artifact("a_child") == "a1/child"
+    assert manager.artifact("b_child") == "b1/child"
+
+
+def test_failing_branch_restores_delta_without_corrupting_sibling_journal():
+    events: list = []
+    fail_on = {"a_root"}                     # mutable: healed mid-test
+    catalog = _branch_catalog(events, fail_on=fail_on)
+    clock = {"lsn": 1}
+    manager = ViewManager(catalog, engines={}, lsn_source=lambda: clock["lsn"],
+                          max_workers=2)
+    manager.materialize()
+    clock["lsn"] = 2
+    manager.enqueue(["a:1", "b:1"], lsn=2)
+    with pytest.raises(RuntimeError, match="a_root branch down"):
+        manager.flush()
+    # the failing branch restored the whole pending delta...
+    assert manager.pending_changes() == ["a:1", "b:1"]
+    assert manager.built_at_lsn("a_root") == 1
+    assert manager.states["a_child"].builds == 1            # blocked, never ran
+    # ...while the sibling branch committed atomically: artifact, journal,
+    # and watermark all advanced together
+    assert manager.artifact("b_root") == "b1"
+    assert manager.built_at_lsn("b_root") == 2
+    sibling_delta = manager.view_deltas_since("b_root", 1)
+    assert sibling_delta is not None and sibling_delta.changed == frozenset({"b:1"})
+    # the retry maintains only the failed branch; the sibling skips by watermark
+    fail_on.clear()
+    retry = manager.flush()
+    assert set(retry) == {"a_root", "a_child"}
+    assert manager.pending_changes() == []
+    assert manager.artifact("a_child") == "a1/child"
+    assert manager.built_at_lsn("a_root") == 2
+    assert manager.states["b_root"].skipped_updates == 1
+    assert manager.maintenance_decisions == (
+        manager.maintenance_skips + manager.maintenance_rebuilds
+    )
+
+
+# ------------------------------------------------------------------ #
+# regression: deletions resolve through pre-delete scope snapshots
+# ------------------------------------------------------------------ #
+def test_deletion_outside_every_scope_is_a_noop_flush():
+    store = ModelStore()
+    store.entities["a1"] = {"type": "alpha", "value": 1}
+    store.entities["g1"] = {"type": "gamma", "value": 2}
+    catalog = ViewCatalog()
+    clock = {"lsn": 1}
+
+    def scope_alpha(eid):
+        fields = store.entities.get(eid)
+        return fields is not None and fields["type"] == "alpha"
+
+    catalog.register(ViewDefinition(
+        "alpha_rows", "analytics",
+        create=lambda ctx: _typed_rows(store, "alpha"), scope=scope_alpha,
+    ))
+    catalog.register(ViewDefinition(
+        "alpha_index", "analytics",
+        create=lambda ctx: sorted(ctx.artifact("alpha_rows")),
+        dependencies=("alpha_rows",), scope=lambda eid: False,
+    ))
+    manager = ViewManager(catalog, engines={}, lsn_source=lambda: clock["lsn"],
+                          entity_source=store.subjects)
+    manager.materialize()
+    # delete the gamma entity: it sits in no view's scope snapshot
+    del store.entities["g1"]
+    clock["lsn"] = 2
+    manager.enqueue([], lsn=2, deleted_entity_ids=["g1"])
+    timings = manager.flush()
+    assert timings == {}                                     # the no-op, proven...
+    assert manager.states["alpha_rows"].skipped_updates == 1   # ...by the skip
+    assert manager.states["alpha_index"].skipped_updates == 1  # counters
+    assert manager.maintenance_skips == 2
+    assert manager.maintenance_rebuilds == 0
+    assert manager.flushes == 1
+    assert manager.built_at_lsn("alpha_rows") == 2           # watermark advanced
+    # deleting a snapshot member, by contrast, maintains exactly that branch
+    del store.entities["a1"]
+    clock["lsn"] = 3
+    manager.enqueue([], lsn=3, deleted_entity_ids=["a1"])
+    timings = manager.flush()
+    assert set(timings) == {"alpha_rows", "alpha_index"}
+    assert manager.artifact("alpha_rows") == {}
+
+
+def test_engine_deletion_outside_scopes_skips_all_views(ontology):
+    source = TripleStore([
+        _triple("kg:s1", "type", "song"),
+        _triple("kg:s1", "name", "First Song"),
+        _triple("kg:l1", "type", "label"),
+        _triple("kg:l1", "name", "Apex"),
+    ])
+    engine = GraphEngine(ontology)
+    engine.publish_store(source, source_id="construction")
+    engine.register_view(ViewDefinition(
+        "song_list", "analytics",
+        create=lambda ctx: sorted(
+            s for s in engine.triples.subjects()
+            if engine.triples.value_of(s, "type") == "song"
+        ),
+        scope=lambda eid: engine.triples.value_of(eid, "type") == "song",
+    ))
+    engine.materialize_views()
+    source.remove_subject("kg:l1")
+    engine.publish_subjects(source, [], deleted_subjects=["kg:l1"],
+                            source_id="construction")
+    timings = engine.update_views()
+    assert timings == {}                       # before snapshots: widened flush
+    assert engine.view_manager.states["song_list"].skipped_updates == 1
+    assert engine.view_freshness() == {}       # watermark still advanced
+    assert engine.view_artifact("song_list") == ["kg:s1"]

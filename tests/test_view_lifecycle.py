@@ -259,26 +259,32 @@ def test_remove_source_marks_full_refresh(ontology):
     assert engine.view_freshness() == {}
 
 
-def test_deletions_widen_the_closure_past_store_derived_scopes(ontology):
-    """A deleted entity no longer matches any store-derived scope, so the
-    flush must conservatively maintain scoped views instead of skipping them
-    while advancing their watermarks."""
+def test_deletions_resolve_through_pre_delete_scope_snapshots(ontology):
+    """A deleted entity no longer matches any store-derived scope, but the
+    pre-delete scope snapshot remembers the view contained it — the flush
+    must maintain exactly that view instead of skipping it (or, as before
+    snapshots, widening to every view)."""
     store = TripleStore([
         triple("kg:s1", "type", "song"),
         triple("kg:s1", "name", "First Song"),
         triple("kg:s2", "type", "song"),
         triple("kg:s2", "name", "Second Song"),
+        triple("kg:l1", "type", "record_label"),
+        triple("kg:l1", "name", "Apex Records"),
     ])
     engine = GraphEngine(ontology)
     engine.publish_store(store, source_id="construction")
-    engine.register_view(ViewDefinition(
-        "song_list", "analytics",
-        create=lambda ctx: sorted(
-            s for s in engine.triples.subjects()
-            if engine.triples.value_of(s, "type") == "song"
-        ),
-        scope=lambda eid: engine.triples.value_of(eid, "type") == "song",
-    ))
+    for entity_type, view_name in (("song", "song_list"), ("record_label", "label_list")):
+        engine.register_view(ViewDefinition(
+            view_name, "analytics",
+            create=lambda ctx, entity_type=entity_type: sorted(
+                s for s in engine.triples.subjects()
+                if engine.triples.value_of(s, "type") == entity_type
+            ),
+            scope=lambda eid, entity_type=entity_type: (
+                engine.triples.value_of(eid, "type") == entity_type
+            ),
+        ))
     engine.materialize_views()
     assert engine.view_artifact("song_list") == ["kg:s1", "kg:s2"]
     store.remove_subject("kg:s1")
@@ -286,6 +292,8 @@ def test_deletions_widen_the_closure_past_store_derived_scopes(ontology):
                             source_id="construction")
     timings = engine.update_views()
     assert "song_list" in timings                  # not skipped despite the scope
+    assert "label_list" not in timings             # ...and the delete stayed selective
+    assert engine.view_manager.states["label_list"].skipped_updates == 1
     assert engine.view_artifact("song_list") == ["kg:s2"]
     assert engine.view_freshness() == {}
 
