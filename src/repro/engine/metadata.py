@@ -15,6 +15,12 @@ highest log position a view's delta journal has recorded applied entity
 deltas up to.  Consumers watching the marks can tell whether a view has been
 absorbing journaled deltas (the mark tracks the view watermark) or has been
 rebuilt from scratch / left untouched by recent flushes.
+
+A fourth namespace tracks **replica applied-LSN watermarks**: the log
+position each serving replica has applied shipped view deltas up to.  The
+read router uses these to answer bounded-staleness and read-your-writes
+reads; like view marks, replica marks must not drag down
+:meth:`MetadataStore.minimum_watermark`.
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ class MetadataStore:
     watermarks: WatermarkMap = field(default_factory=WatermarkMap)
     view_marks: WatermarkMap = field(default_factory=WatermarkMap)
     journal_marks: WatermarkMap = field(default_factory=WatermarkMap)
+    replica_marks: WatermarkMap = field(default_factory=WatermarkMap)
     annotations: dict[str, dict] = field(default_factory=dict)
 
     # -------------------------------------------------------------- #
@@ -113,6 +120,33 @@ class MetadataStore:
     def clear_view_journal_mark(self, view_name: str) -> None:
         """Forget a view's journal mark (the view was dropped or redefined)."""
         self.journal_marks.pop(view_name, None)
+
+    # -------------------------------------------------------------- #
+    # replica applied-LSN watermarks
+    # -------------------------------------------------------------- #
+    def update_replica_watermark(self, replica_name: str, lsn: int) -> None:
+        """Record that *replica_name* has applied shipped deltas up to *lsn*."""
+        self.replica_marks.advance(replica_name, lsn)
+
+    def replica_watermark(self, replica_name: str) -> int:
+        """The applied-LSN watermark of *replica_name* (0 when unknown)."""
+        return self.replica_marks.of(replica_name)
+
+    def clear_replica_watermark(self, replica_name: str) -> None:
+        """Forget a replica's watermarks (the replica left the fleet).
+
+        Clears both the bare name and every ``{replica}/{view}`` composite
+        entry the serving fleet writes, so a retired replica's per-view
+        marks stop polluting :meth:`lagging_replicas`.
+        """
+        self.replica_marks.pop(replica_name, None)
+        prefix = f"{replica_name}/"
+        for key in [k for k in self.replica_marks if k.startswith(prefix)]:
+            self.replica_marks.pop(key, None)
+
+    def lagging_replicas(self, head_lsn: int) -> dict[str, int]:
+        """Replicas behind *head_lsn* and how many log positions behind."""
+        return self.replica_marks.lagging(head_lsn)
 
     # -------------------------------------------------------------- #
     # annotations

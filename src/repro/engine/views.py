@@ -94,6 +94,7 @@ from __future__ import annotations
 import threading
 import time
 import weakref
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -101,7 +102,7 @@ from typing import Callable, Iterable, Sequence
 import networkx as nx
 
 from repro.engine.metadata import MetadataStore
-from repro.errors import ViewError
+from repro.errors import JournalGapError, ViewError
 
 
 @dataclass(frozen=True)
@@ -216,6 +217,31 @@ class DeltaJournal:
             merged = merged.merge(entry)
         self.entries[:keep_from] = [merged]
         self.compactions += 1
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One committed journal transition, published to journal listeners.
+
+    ``kind`` is ``"append"`` (an incremental delta was journaled — ``delta``
+    carries the scope-projected entities), ``"advance"`` (a flush proved the
+    view unaffected and only moved its watermark to ``lsn`` — shipped copies
+    advance their applied LSN without touching a row), ``"truncate"`` (the
+    view was rebuilt from scratch; history restarts at ``lsn`` and any
+    shipped copy must resync from the artifact), or ``"drop"`` (the
+    materialization was removed; shipped copies must stop serving the view).
+    ``revision`` identifies the state lineage so consumers notice
+    redefinitions.
+    """
+
+    kind: str
+    view_name: str
+    lsn: int
+    revision: int
+    delta: ViewDelta | None = None
+
+
+JournalListener = Callable[[JournalEvent], None]
 
 
 @dataclass
@@ -491,8 +517,38 @@ class ViewManager:
         self._state_locks: dict[str, threading.Lock] = {}
         self._locks_guard = threading.Lock()
         self._counters_lock = threading.Lock()   # manager totals, pool-thread safe
-        self._pool: ThreadPoolExecutor | None = None   # lazy, manager-lifetime
+        self._pool: ThreadPoolExecutor | None = None   # lazy, shut down on failure/close
+        self.journal_listeners: list[JournalListener] = []
+        # Bounded: a persistently failing listener must not grow memory.
+        self.journal_listener_errors: deque[str] = deque(maxlen=256)
         catalog.attach(self)
+
+    def add_journal_listener(self, listener: JournalListener) -> None:
+        """Call *listener* with every committed :class:`JournalEvent`.
+
+        Events fire after the per-view commit (artifact, journal, snapshot,
+        watermark) released its lock, in the order the views committed.
+        Listener failures are recorded in ``journal_listener_errors`` (a
+        bounded deque of the most recent 256) and never unwind maintenance —
+        a broken shipper must not fail a flush.
+        """
+        self.journal_listeners.append(listener)
+
+    def remove_journal_listener(self, listener: JournalListener) -> None:
+        """Detach a journal listener (no-op when it was never attached)."""
+        try:
+            self.journal_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit_journal_event(self, event: JournalEvent) -> None:
+        for listener in self.journal_listeners:
+            try:
+                listener(event)
+            except Exception as exc:  # noqa: BLE001 - maintenance already committed
+                self.journal_listener_errors.append(
+                    f"{event.kind} {event.view_name} lsn={event.lsn}: {exc}"
+                )
 
     # -------------------------------------------------------------- #
     # materialization
@@ -553,6 +609,10 @@ class ViewManager:
             state.journal.truncate(state.built_at_lsn)
             self._seed_snapshot(name, definition)
             self._record_watermark(name, state)
+        self._emit_journal_event(JournalEvent(
+            kind="truncate", view_name=name, lsn=state.built_at_lsn,
+            revision=state.revision,
+        ))
         return elapsed
 
     # -------------------------------------------------------------- #
@@ -711,6 +771,14 @@ class ViewManager:
                     with self._state_lock(name):
                         state.built_at_lsn = target_lsn
                         self._record_watermark(name, state)
+                    # Watermark-only progress still ships: replicas must
+                    # advance their applied LSN or consistency-gated reads
+                    # would reject them for changes that never touched the
+                    # view ("empty delta is a positive answer").
+                    self._emit_journal_event(JournalEvent(
+                        kind="advance", view_name=name, lsn=target_lsn,
+                        revision=state.revision,
+                    ))
                 continue
             if not forced and state.built_at_lsn >= target_lsn:
                 self.maintenance_decisions += 1
@@ -781,6 +849,10 @@ class ViewManager:
                     except Exception as exc:  # noqa: BLE001 - collected below
                         failures[name] = exc
         if failures:
+            # Deterministic executor lifecycle: a failed flush must not leave
+            # worker threads behind for callers that abandon the manager after
+            # the error.  The pool is recreated lazily if a retry needs it.
+            self.close()
             for name in names:
                 if name in failures:
                     raise failures[name]
@@ -846,6 +918,16 @@ class ViewManager:
                 self._update_snapshot(name, definition, projected)
             state.built_at_lsn = max(state.built_at_lsn, target_lsn)
             self._record_watermark(name, state)
+        if kind == "create":
+            self._emit_journal_event(JournalEvent(
+                kind="truncate", view_name=name, lsn=state.built_at_lsn,
+                revision=state.revision,
+            ))
+        else:
+            self._emit_journal_event(JournalEvent(
+                kind="append", view_name=name, lsn=state.built_at_lsn,
+                revision=state.revision, delta=projected,
+            ))
         with self._counters_lock:
             self.maintenance_decisions += 1
             self.maintenance_rebuilds += 1
@@ -1010,6 +1092,11 @@ class ViewManager:
         self.states.pop(name, None)
         self._scope_snapshots.pop(name, None)
         self._clear_watermark(name)
+        if state is not None:
+            self._emit_journal_event(JournalEvent(
+                kind="drop", view_name=name, lsn=state.built_at_lsn,
+                revision=state.revision,
+            ))
         return removed
 
     def _invalidate(self, name: str) -> bool:
@@ -1025,6 +1112,10 @@ class ViewManager:
         state.invalidations += 1
         self._scope_snapshots.pop(name, None)
         self._clear_watermark(name)
+        self._emit_journal_event(JournalEvent(
+            kind="drop", view_name=name, lsn=state.built_at_lsn,
+            revision=state.revision,
+        ))
         return True
 
     def reset_views(self, names: Iterable[str]) -> None:
@@ -1035,9 +1126,14 @@ class ViewManager:
         because they belong to the replaced definitions.
         """
         for name in names:
-            self.states.pop(name, None)
+            state = self.states.pop(name, None)
             self._scope_snapshots.pop(name, None)
             self._clear_watermark(name)
+            if state is not None:
+                self._emit_journal_event(JournalEvent(
+                    kind="drop", view_name=name, lsn=state.built_at_lsn,
+                    revision=state.revision,
+                ))
 
     # -------------------------------------------------------------- #
     # access
@@ -1068,7 +1164,9 @@ class ViewManager:
         state = self.states.get(name)
         return state.revision if state is not None else 0
 
-    def view_deltas_since(self, name: str, lsn: int) -> ViewDelta | None:
+    def view_deltas_since(
+        self, name: str, lsn: int, strict: bool = False
+    ) -> ViewDelta | None:
         """Net per-view delta applied after *lsn*, from the view's journal.
 
         Returns ``None`` when the journal cannot cover the gap (the view was
@@ -1076,12 +1174,21 @@ class ViewManager:
         is unknown/unmaterialized) — the consumer must fall back to a full
         artifact reload.  An *empty* delta is a positive answer: nothing in
         the artifact changed, only the watermark moved.
+
+        With ``strict=True`` a journal that cannot reach back to *lsn* for a
+        *materialized* view raises :class:`~repro.errors.JournalGapError`
+        instead of returning ``None``, so resync-capable consumers (the
+        serving fleet, the live layer) can tell "history was lost, resync"
+        apart from "the view does not exist here".
         """
         state = self.states.get(name)
         if state is None or not state.materialized:
             return None
         with self._state_lock(name):
-            return state.journal.since(lsn)
+            merged = state.journal.since(lsn)
+            if merged is None and strict:
+                raise JournalGapError(name, lsn, state.journal.floor_lsn)
+            return merged
 
     def scope_snapshot(self, name: str) -> ScopeSnapshot | None:
         """The pre-delete scope snapshot tracked for *name* (read-only use)."""
@@ -1144,10 +1251,23 @@ class ViewManager:
     # internals
     # -------------------------------------------------------------- #
     def close(self) -> None:
-        """Release the flush thread pool (idempotent; recreated on demand)."""
+        """Release the flush thread pool (idempotent; recreated on demand).
+
+        Called automatically when a flush fails (so failure paths never leak
+        worker threads) and by ``with ViewManager(...)``; long-lived owners
+        should call it on teardown.  ``shutdown(wait=True)`` makes the
+        lifecycle deterministic: after close returns, no ``view-flush``
+        thread is alive.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def __enter__(self) -> "ViewManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _flush_pool(self) -> ThreadPoolExecutor | None:
         """The manager-lifetime flush pool (lazily created, reused per flush)."""

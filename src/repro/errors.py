@@ -56,8 +56,38 @@ class ViewError(EngineError):
     """Raised by the view catalog or view manager."""
 
 
+class JournalGapError(ViewError):
+    """Raised when a delta journal cannot cover a consumer's LSN gap.
+
+    Carries enough context for the consumer to resync: the view, the LSN the
+    consumer serves, and the journal's floor (the position below which
+    history was truncated or compacted away).
+    """
+
+    def __init__(self, view_name: str, requested_lsn: int, floor_lsn: int) -> None:
+        super().__init__(
+            f"journal of view {view_name!r} cannot reach back to LSN "
+            f"{requested_lsn} (floor is {floor_lsn}); consumer must resync"
+        )
+        self.view_name = view_name
+        self.requested_lsn = requested_lsn
+        self.floor_lsn = floor_lsn
+
+
 class LogError(EngineError):
     """Raised by the durable operation log."""
+
+
+class ServingError(SagaError):
+    """Raised by the replicated serving fleet (shipping, replicas, routing)."""
+
+
+class StaleReadError(ServingError):
+    """Raised when no replica satisfies a read's consistency requirement."""
+
+
+class ReplicaUnavailableError(ServingError):
+    """Raised when a routed read finds no live replica to serve it."""
 
 
 class LiveGraphError(SagaError):

@@ -11,12 +11,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.datagen.streams import LiveEvent
-from repro.errors import IntentError, LiveGraphError
+from repro.errors import IntentError, JournalGapError, LiveGraphError
 from repro.live.construction import EntityResolutionClient, LiveGraphConstruction
 from repro.live.context import ContextGraph
 from repro.live.curation import CurationDecision, CurationPipeline
 from repro.live.executor import QueryExecutor, QueryResult
-from repro.live.index import LiveEntityDocument, LiveIndex
+from repro.live.index import LiveEntityDocument, LiveIndex, view_row_document
 from repro.live.intents import Intent, IntentHandler, default_intent_handler
 from repro.live.kgq import (
     CallQuery,
@@ -60,10 +60,11 @@ class LiveGraphEngine:
         self.intents = intent_handler or default_intent_handler(self.index)
         self.context = ContextGraph()
         self.curation = CurationPipeline()
-        self._feed_documents: dict[str, set[str]] = {}   # feed -> served doc ids
         self._feed_revisions: dict[str, int] = {}        # feed -> view state revision
+        self._router = None                              # optional replica read router
         self.view_feed_incremental_loads = 0             # journal-delta catch-ups
         self.view_feed_full_loads = 0                    # full artifact rewrites
+        self.view_feed_journal_gaps = 0                  # gap-signalled resyncs
 
     # -------------------------------------------------------------- #
     # construction
@@ -120,7 +121,9 @@ class LiveGraphEngine:
         the view's delta journal can answer "what changed since the version
         this feed serves", only the journaled rows are rewritten instead of
         re-diffing the full artifact; a journal gap (the view was rebuilt
-        from scratch, or the feed fell behind compaction) falls back to the
+        from scratch, or the feed fell behind compaction) is signalled by an
+        explicit :class:`~repro.errors.JournalGapError`, counted in
+        ``view_feed_journal_gaps``, and consumed by resyncing through the
         full rewrite.  Reading the artifact raises
         :class:`~repro.errors.ViewError` if the view (or, via cascade
         invalidation, one of its dependencies) was dropped — the live layer
@@ -146,7 +149,13 @@ class LiveGraphEngine:
         served_version = self.index.watermark(feed)
         delta = None
         if served_version and self._feed_revisions.get(feed) == revision:
-            delta = manager.view_deltas_since(view_name, served_version)
+            try:
+                delta = manager.view_deltas_since(view_name, served_version, strict=True)
+            except JournalGapError:
+                # Journal truncated or compacted past the version this feed
+                # serves: an explicit staleness signal, resynced through the
+                # full-reload path below instead of re-diffing blind.
+                self.view_feed_journal_gaps += 1
         if delta is not None:
             return self._apply_view_delta(
                 graph_engine, view_name, feed, rows, delta, version, entity_type
@@ -158,19 +167,13 @@ class LiveGraphEngine:
                 raise LiveGraphError(
                     f"view artifact {view_name!r} rows need a 'subject' key to be served"
                 )
-        loaded = 0
-        fresh_ids: set[str] = set()
-        for row in rows:
-            document = self._view_row_document(view_name, feed, row, version, entity_type)
-            self.index.replace(document)
-            fresh_ids.add(document.entity_id)
-            loaded += 1
-        # Rows that vanished from the artifact (e.g. deleted entities) must
-        # stop being served.
-        self.index.delete_many(self._feed_documents.get(feed, set()) - fresh_ids)
-        self._feed_documents[feed] = fresh_ids
+        loaded = self.index.replace_feed(
+            feed,
+            (self._view_row_document(view_name, feed, row, version, entity_type)
+             for row in rows),
+            version,
+        )
         self._feed_revisions[feed] = revision
-        self.index.set_watermark(feed, version)
         self.executor.invalidate_cache()
         self.view_feed_full_loads += 1
         return loaded
@@ -190,30 +193,21 @@ class LiveGraphEngine:
                     f"view artifact {view_name!r} rows need a 'subject' key to be served"
                 )
             by_subject[row["subject"]] = row
-        served = self._feed_documents.setdefault(feed, set())
-        loaded = 0
-        touched = False
+        upserts = []
+        deleted_ids = []
         for subject in sorted(delta.changed):
-            doc_id = f"{view_name}:{subject}"
             row = by_subject.get(subject)
             if row is None:
                 # The row left the artifact without a journaled delete (e.g.
                 # an incremental builder pruning beyond its scope): stop
                 # serving it rather than serve a stale copy.
-                touched |= self.index.delete(doc_id)
-                served.discard(doc_id)
+                deleted_ids.append(f"{view_name}:{subject}")
                 continue
-            document = self._view_row_document(view_name, feed, row, version, entity_type)
-            self.index.replace(document)
-            served.add(doc_id)
-            loaded += 1
-            touched = True
-        for subject in sorted(delta.deleted):
-            doc_id = f"{view_name}:{subject}"
-            touched |= self.index.delete(doc_id)
-            served.discard(doc_id)
-        self.index.set_watermark(feed, version)
-        if touched:
+            upserts.append(self._view_row_document(view_name, feed, row, version,
+                                                   entity_type))
+        deleted_ids.extend(f"{view_name}:{subject}" for subject in sorted(delta.deleted))
+        loaded = self.index.apply_feed_delta(feed, upserts, deleted_ids, version)
+        if upserts or deleted_ids:
             self.executor.invalidate_cache()
         self.view_feed_incremental_loads += 1
         return loaded
@@ -222,21 +216,9 @@ class LiveGraphEngine:
     def _view_row_document(
         view_name: str, feed: str, row: dict, version: int, entity_type: str
     ) -> LiveEntityDocument:
-        types = row.get("types") or []
-        facts = {
-            key: list(value) if isinstance(value, (list, tuple)) else [value]
-            for key, value in row.items()
-            if key not in ("subject", "name", "types") and value not in (None, "")
-        }
-        return LiveEntityDocument(
-            entity_id=f"{view_name}:{row['subject']}",
-            entity_type=str(types[0]) if types else entity_type,
-            name=str(row.get("name", "")),
-            facts=facts,
-            source_id=feed,
-            timestamp=version,
-            is_live=False,
-        )
+        # Shared with the serving fleet's replicas, which must serve shipped
+        # rows byte-identically to a locally loaded view feed.
+        return view_row_document(view_name, feed, row, version, entity_type)
 
     def ingest_events(self, events: Iterable[LiveEvent], screen: bool = True) -> int:
         """Ingest streaming events, optionally screening them for curation."""
@@ -265,6 +247,37 @@ class LiveGraphEngine:
         if applied:
             self.executor.invalidate_cache()
         return applied
+
+    # -------------------------------------------------------------- #
+    # replica-backed reads
+    # -------------------------------------------------------------- #
+    def attach_router(self, router) -> None:
+        """Route view reads through a serving-fleet :class:`ShardRouter`.
+
+        Once attached, :meth:`routed_view_read` serves view rows from the
+        replica fleet instead of this process's own index — the local index
+        keeps serving streaming documents and non-routed queries.
+        """
+        self._router = router
+
+    def routed_view_read(
+        self, view_name: str, subject: str, consistency=None
+    ) -> LiveEntityDocument | None:
+        """Read one served view row through the attached replica router.
+
+        *consistency* is a :class:`~repro.serving.router.Consistency` level
+        (``None`` means "any live replica").  Raises
+        :class:`~repro.errors.LiveGraphError` when no router is attached;
+        routing errors (no live replica, staleness) propagate from the
+        router untranslated.
+        """
+        if self._router is None:
+            raise LiveGraphError(
+                "no read router attached; call attach_router(fleet.router) first"
+            )
+        if consistency is None:
+            return self._router.read(view_name, subject)
+        return self._router.read(view_name, subject, consistency)
 
     # -------------------------------------------------------------- #
     # querying
@@ -331,4 +344,6 @@ class LiveGraphEngine:
             "feed_watermarks": dict(self.index.watermarks),
             "view_feed_incremental_loads": self.view_feed_incremental_loads,
             "view_feed_full_loads": self.view_feed_full_loads,
+            "view_feed_journal_gaps": self.view_feed_journal_gaps,
+            "routed_reads": self._router.reads_routed if self._router else 0,
         }

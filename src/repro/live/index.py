@@ -200,19 +200,51 @@ class InvertedGraphIndex:
         return set(self._value_postings.get((predicate, normalize_string(value)), set()))
 
 
+def view_row_document(
+    view_name: str, feed: str, row: dict, version: int, entity_type: str = "view_row"
+) -> LiveEntityDocument:
+    """Turn one row of a row-shaped view artifact into a serving document.
+
+    The document is keyed ``{view_name}:{subject}`` so several views may
+    serve rows about the same KG entity side by side; ``version`` (the LSN
+    the row reflects) becomes the document timestamp.  Shared by the live
+    engine's view feeds and the replicated serving fleet, which must agree
+    byte-for-byte on how a shipped row is served.
+    """
+    types = row.get("types") or []
+    facts = {
+        key: list(value) if isinstance(value, (list, tuple)) else [value]
+        for key, value in row.items()
+        if key not in ("subject", "name", "types") and value not in (None, "")
+    }
+    return LiveEntityDocument(
+        entity_id=f"{view_name}:{row['subject']}",
+        entity_type=str(types[0]) if types else entity_type,
+        name=str(row.get("name", "")),
+        facts=facts,
+        source_id=feed,
+        timestamp=version,
+        is_live=False,
+    )
+
+
 class LiveIndex:
     """The KV store and inverted index maintained together.
 
     ``watermarks`` track, per upstream feed (the stable view, each served
     view artifact), the Graph Engine log position (LSN) the loaded documents
     reflect — the same freshness currency the engine's metadata store uses —
-    so refreshes can be skipped when the upstream has not advanced.
+    so refreshes can be skipped when the upstream has not advanced.  Feeds
+    loaded through :meth:`replace_feed` / :meth:`apply_feed_delta` (the
+    replica-backed serving path) additionally track which document ids each
+    feed serves, so a replaced or dropped feed unserves vanished rows.
     """
 
     def __init__(self, num_shards: int = 4) -> None:
         self.kv = GraphKVStore(num_shards)
         self.inverted = InvertedGraphIndex()
         self.watermarks = WatermarkMap()
+        self._feed_documents: dict[str, set[str]] = {}
 
     def set_watermark(self, feed: str, lsn: int) -> None:
         """Record that *feed*'s documents reflect the upstream log up to *lsn*."""
@@ -256,6 +288,62 @@ class LiveIndex:
             self.upsert(document)
             count += 1
         return count
+
+    # -------------------------------------------------------------- #
+    # feed-tracked serving (replica-backed reads)
+    # -------------------------------------------------------------- #
+    def feed_documents(self, feed: str) -> set[str]:
+        """Document ids currently served for *feed* (feed-tracked loads only)."""
+        return set(self._feed_documents.get(feed, set()))
+
+    def replace_feed(
+        self, feed: str, documents: Iterable[LiveEntityDocument], lsn: int
+    ) -> int:
+        """Authoritatively replace every document of *feed* (snapshot load).
+
+        Documents that vanished from the feed stop being served; the feed's
+        watermark advances to *lsn*.  Returns the number of documents written.
+        """
+        fresh_ids: set[str] = set()
+        written = 0
+        for document in documents:
+            self.replace(document)
+            fresh_ids.add(document.entity_id)
+            written += 1
+        self.delete_many(self._feed_documents.get(feed, set()) - fresh_ids)
+        self._feed_documents[feed] = fresh_ids
+        self.watermarks.advance(feed, lsn)
+        return written
+
+    def apply_feed_delta(
+        self,
+        feed: str,
+        upserts: Iterable[LiveEntityDocument],
+        deleted_ids: Iterable[str],
+        lsn: int,
+    ) -> int:
+        """Apply one incremental feed delta (journal catch-up load).
+
+        Returns the number of documents written; deletions that were not
+        being served are no-ops.
+        """
+        served = self._feed_documents.setdefault(feed, set())
+        written = 0
+        for document in upserts:
+            self.replace(document)
+            served.add(document.entity_id)
+            written += 1
+        for doc_id in deleted_ids:
+            self.delete(doc_id)
+            served.discard(doc_id)
+        self.watermarks.advance(feed, lsn)
+        return written
+
+    def drop_feed(self, feed: str) -> int:
+        """Stop serving *feed* entirely; returns how many documents left."""
+        removed = self.delete_many(self._feed_documents.pop(feed, set()))
+        self.watermarks.pop(feed, None)
+        return removed
 
     def delete(self, entity_id: str) -> bool:
         """Delete a document from both structures."""

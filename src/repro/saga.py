@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.construction.matching import MatcherRegistry
+from repro.errors import ServingError
 from repro.construction.pipeline import KnowledgeConstructionPipeline
 from repro.construction.incremental import ConstructionReport
 from repro.datagen.streams import LiveEvent
@@ -37,6 +38,8 @@ from repro.ml.encoders import StringEncoder
 from repro.ml.nerd.service import NERDService
 from repro.model.entity import SourceEntity
 from repro.model.ontology import Ontology, default_ontology
+from repro.serving.fleet import ServingFleet
+from repro.serving.journal_store import FileJournalBackend, JournalStore
 
 
 @dataclass
@@ -68,6 +71,7 @@ class SagaPlatform:
         self.name_encoder = name_encoder
         self._nerd: NERDService | None = None
         self._live: LiveGraphEngine | None = None
+        self._fleet: ServingFleet | None = None
 
     # -------------------------------------------------------------- #
     # source onboarding and ingestion
@@ -153,11 +157,72 @@ class SagaPlatform:
         if self._live is None:
             self._live = LiveGraphEngine(resolution_service=self.nerd)
             self._live.load_stable_view(self.graph_engine.triples)
+            if self._fleet is not None:
+                self._live.attach_router(self._fleet.router)
         return self._live
 
     def ingest_live_events(self, events: Iterable[LiveEvent]) -> int:
         """Feed streaming events into the live graph."""
         return self.live.ingest_events(events)
+
+    # -------------------------------------------------------------- #
+    # replicated serving fleet
+    # -------------------------------------------------------------- #
+    @property
+    def fleet(self) -> ServingFleet | None:
+        """The replicated serving fleet, when one has been started."""
+        return self._fleet
+
+    def start_serving_fleet(
+        self,
+        views: Sequence[str] = (),
+        num_replicas: int = 3,
+        journal_dir: str | None = None,
+        queue_capacity: int = 256,
+    ) -> ServingFleet:
+        """Start a replicated serving fleet over the Graph Engine's views.
+
+        The fleet ships every named materialized row-shaped view to
+        *num_replicas* live replicas, persists delta journals (to segment
+        files under *journal_dir* when given, in memory otherwise), and
+        routes reads with the same LSN currency the engine's metadata store
+        uses.  The live engine (when instantiated) gains replica-backed
+        reads through :meth:`LiveGraphEngine.routed_view_read`.
+        """
+        if self._fleet is not None:
+            raise ServingError("a serving fleet is already running; stop it first")
+        backend = FileJournalBackend(journal_dir) if journal_dir is not None else None
+        engine = self.graph_engine
+        fleet = ServingFleet(
+            engine.view_manager,
+            num_replicas=num_replicas,
+            journal_store=JournalStore(backend) if backend is not None else None,
+            metadata=engine.metadata,
+            head_lsn_source=engine.minimum_version,
+            queue_capacity=queue_capacity,
+        ).start()
+        try:
+            fleet.serve_views(views)
+        except Exception:
+            # Atomic start: an unshippable view (unmaterialized, not
+            # row-shaped) must not leave replica threads and a journal
+            # listener behind — and must not block a corrected retry.
+            fleet.stop()
+            raise
+        self._fleet = fleet
+        if self._live is not None:
+            self._live.attach_router(self._fleet.router)
+        return self._fleet
+
+    def stop_serving_fleet(self) -> None:
+        """Drain and stop the serving fleet (no-op when none is running)."""
+        if self._fleet is None:
+            return
+        self._fleet.drain()
+        self._fleet.stop()
+        if self._live is not None:
+            self._live.attach_router(None)
+        self._fleet = None
 
     # -------------------------------------------------------------- #
     # metrics

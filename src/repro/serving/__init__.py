@@ -1,0 +1,39 @@
+"""Replicated serving fleet: persistent journals, shipping, routed reads.
+
+Turns the view/journal machinery of :mod:`repro.engine.views` into a
+replicated serving tier (see ``docs/serving.md``): the primary's committed
+view deltas are durably journaled (:class:`JournalStore`), shipped as
+LSN-ranged batches (:class:`JournalShipper` over a :class:`ReplicationBus`)
+to live replicas (:class:`ReplicaNode`) that apply them asynchronously, and
+reads are routed across the replicas by consistent hashing under a
+selectable consistency level (:class:`ShardRouter`, :class:`Consistency`).
+:class:`ServingFleet` wires all of it over one view manager.
+"""
+
+from repro.serving.fleet import ServingFleet
+from repro.serving.journal_store import (
+    FileJournalBackend,
+    InMemoryJournalBackend,
+    JournalBackend,
+    JournalRecord,
+    JournalStore,
+)
+from repro.serving.replica import ReplicaNode
+from repro.serving.router import ANY, Consistency, ShardRouter
+from repro.serving.shipping import JournalShipper, ReplicationBus, ShipmentBatch
+
+__all__ = [
+    "ANY",
+    "Consistency",
+    "FileJournalBackend",
+    "InMemoryJournalBackend",
+    "JournalBackend",
+    "JournalRecord",
+    "JournalShipper",
+    "JournalStore",
+    "ReplicaNode",
+    "ReplicationBus",
+    "ServingFleet",
+    "ShardRouter",
+    "ShipmentBatch",
+]

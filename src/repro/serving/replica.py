@@ -1,0 +1,327 @@
+"""Replica nodes: apply shipped view deltas into a local live-index shard.
+
+A :class:`ReplicaNode` owns one :class:`~repro.live.index.LiveIndex` and
+applies :class:`~repro.serving.shipping.ShipmentBatch` messages into it
+**asynchronously**: ``offer`` enqueues onto a bounded queue and returns
+immediately (the primary's flush thread is never coupled to replica apply
+speed), while a worker thread drains the queue.  A full queue *drops* the
+batch — the subsequent gap detection repairs the loss — so a slow replica
+degrades to lag, never to backpressure on the primary.
+
+Batches are chained by ``prev_lsn``; a replica whose applied LSN does not
+reach a delta batch's ``prev_lsn`` (missed shipment, crash, late
+subscription) or whose revision disagrees detects the **gap** and resyncs by
+pulling a catch-up batch from its ``resync_source`` (the shipper): a journal
+delta when persisted history covers the gap, a full snapshot otherwise.
+
+Durability model: the node's index plays the role of the replica's local
+store and the checkpoint persisted through the
+:class:`~repro.serving.journal_store.JournalStore` records exactly what that
+store has applied (the checkpoint is written after every applied batch).  A
+*crash* (:meth:`kill`) loses the in-flight queue but not the applied state;
+:meth:`restart` reloads the checkpoint and catches up **from the persisted
+journal, starting at the last applied LSN** — no view artifact is rebuilt.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.engine.metadata import WatermarkMap
+from repro.errors import ReplicaUnavailableError, ServingError
+from repro.live.index import LiveIndex, view_row_document
+from repro.serving.shipping import ShipmentBatch
+
+#: Signature of the per-apply watermark callback: (replica, view, applied LSN).
+WatermarkSink = Callable[[str, str, int], None]
+
+
+class ReplicaNode:
+    """One serving replica: bounded-queue async apply over its own LiveIndex."""
+
+    def __init__(
+        self,
+        name: str,
+        num_shards: int = 4,
+        queue_capacity: int = 256,
+        resync_source=None,
+        journal_store=None,
+        watermark_sink: WatermarkSink | None = None,
+        entity_type: str = "view_row",
+    ) -> None:
+        if not name:
+            raise ServingError("replica needs a non-empty name")
+        if queue_capacity <= 0:
+            raise ServingError("replica queue capacity must be positive")
+        self.name = name
+        self.index = LiveIndex(num_shards)
+        self.applied = WatermarkMap()            # view -> applied LSN
+        self.revisions: dict[str, int] = {}      # view -> state lineage served
+        self.resync_source = resync_source
+        self.journal_store = journal_store
+        self.watermark_sink = watermark_sink
+        self.entity_type = entity_type
+        self._queue: queue.Queue[ShipmentBatch | None] = queue.Queue(maxsize=queue_capacity)
+        self._worker: threading.Thread | None = None
+        self._alive = False
+        # Reentrant: a gap detected mid-apply resyncs inline under the lock.
+        self._apply_lock = threading.RLock()
+        self.batches_offered = 0
+        self.batches_applied = 0
+        self.batches_skipped = 0                 # duplicates below the applied LSN
+        self.backpressure_drops = 0
+        self.gaps_detected = 0
+        self.resyncs = 0
+        self.snapshot_resyncs = 0
+        # Bounded: a stream of poison batches must not grow memory.
+        self.apply_errors: deque[str] = deque(maxlen=256)
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+    @property
+    def alive(self) -> bool:
+        """Whether the node currently accepts and applies batches."""
+        return self._alive
+
+    def start(self) -> "ReplicaNode":
+        """Start the apply worker (idempotent); returns self for chaining."""
+        if self._alive:
+            return self
+        self._alive = True
+        self._worker = threading.Thread(
+            target=self._run, name=f"replica-{self.name}", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain the queue, then stop the worker (a clean shutdown)."""
+        if not self._alive:
+            return
+        self._queue.put(None)                    # sentinel: drain then exit
+        if self._worker is not None:
+            self._worker.join(timeout=10)
+        self._alive = False
+        self._worker = None
+
+    def kill(self) -> int:
+        """Simulate a crash: the worker dies, queued batches are lost.
+
+        The applied state (index + checkpoint) survives — it models the
+        replica's local store — but everything in flight is gone.  Returns
+        the number of batches dropped from the queue.
+        """
+        self._alive = False                      # worker exits at next get()
+        try:
+            self._queue.put_nowait(None)         # wake it if blocked on an empty queue
+        except queue.Full:
+            pass                                 # worker is mid-batch; it checks _alive next
+        if self._worker is not None:
+            self._worker.join(timeout=10)
+        self._worker = None
+        dropped = 0
+        while True:
+            try:
+                if self._queue.get_nowait() is not None:
+                    dropped += 1
+                self._queue.task_done()
+            except queue.Empty:
+                break
+        return dropped
+
+    def restart(self, views: list[str] | None = None) -> list[str]:
+        """Recover after a crash: reload the checkpoint, catch up, serve again.
+
+        The persisted checkpoint is authoritative for what the local store
+        reflects; every checkpointed view (or *views*, when given) is caught
+        up through the resync source **starting from its applied LSN** — a
+        journal replay, not an artifact rebuild, whenever persisted history
+        covers the gap.  Returns the views that were caught up.
+        """
+        if self.journal_store is not None:
+            applied, revisions = self.journal_store.load_replica_checkpoint(self.name)
+            for view_name, lsn in applied.items():
+                self.applied.advance(view_name, lsn)
+            self.revisions.update(revisions)
+        self.start()
+        targets = views if views is not None else sorted(self.revisions)
+        caught_up = []
+        for view_name in targets:
+            if self.resync(view_name):
+                caught_up.append(view_name)
+        return caught_up
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait until every offered batch has been applied (or *timeout*).
+
+        Polls the queue's unfinished-task count under its condition instead
+        of parking a thread in ``Queue.join()`` — a wedged replica must not
+        leak one permanently blocked waiter per drain attempt.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._queue.all_tasks_done:
+                if self._queue.unfinished_tasks == 0:
+                    return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.002)
+
+    # -------------------------------------------------------------- #
+    # replication protocol
+    # -------------------------------------------------------------- #
+    def offer(self, batch: ShipmentBatch) -> bool:
+        """Enqueue a batch for asynchronous apply.
+
+        Raises :class:`~repro.errors.ReplicaUnavailableError` when the node
+        is down (the bus records the failed delivery).  A full queue drops
+        the batch and lets gap detection repair the loss later — the caller
+        is never blocked.
+        """
+        if not self._alive:
+            raise ReplicaUnavailableError(f"replica {self.name!r} is not running")
+        self.batches_offered += 1
+        try:
+            self._queue.put_nowait(batch)
+            return True
+        except queue.Full:
+            self.backpressure_drops += 1
+            return False
+
+    def resync(self, view_name: str) -> bool:
+        """Pull a catch-up batch for one view and apply it inline."""
+        if self.resync_source is None:
+            return False
+        self.resyncs += 1
+        batch = self.resync_source.catchup_batch(
+            view_name, self.applied.of(view_name), self.revisions.get(view_name, 0)
+        )
+        if batch.kind == "snapshot":
+            self.snapshot_resyncs += 1
+        with self._apply_lock:
+            self._apply(batch, resyncing=True)
+        return True
+
+    def applied_lsn(self, view_name: str) -> int:
+        """The LSN this replica's copy of *view_name* reflects (0 when unserved)."""
+        return self.applied.of(view_name)
+
+    def serves_view(self, view_name: str) -> bool:
+        """Whether this node has ever applied state for *view_name*.
+
+        The router skips non-serving nodes instead of reporting their empty
+        index as a row miss.
+        """
+        return view_name in self.revisions
+
+    def min_applied_lsn(self) -> int:
+        """The LSN every served view has reached (0 when nothing is served)."""
+        if not self.applied:
+            return 0
+        return min(self.applied.values())
+
+    def get(self, view_name: str, subject: str):
+        """Point-read one served row document (None when not served here)."""
+        return self.index.get(f"{view_name}:{subject}")
+
+    def status(self) -> dict[str, object]:
+        """Health and progress snapshot for fleet introspection."""
+        return {
+            "alive": self._alive,
+            "documents": len(self.index),
+            "queue_depth": self._queue.qsize(),
+            "applied_lsns": dict(self.applied),
+            "batches_applied": self.batches_applied,
+            "backpressure_drops": self.backpressure_drops,
+            "gaps_detected": self.gaps_detected,
+            "resyncs": self.resyncs,
+            "snapshot_resyncs": self.snapshot_resyncs,
+            "apply_errors": list(self.apply_errors),
+        }
+
+    # -------------------------------------------------------------- #
+    # apply machinery
+    # -------------------------------------------------------------- #
+    def _run(self) -> None:
+        while True:
+            batch = self._queue.get()
+            try:
+                if batch is None or not self._alive:
+                    break
+                with self._apply_lock:
+                    self._apply(batch)
+            except Exception as exc:  # noqa: BLE001 - a bad batch must not kill the worker
+                self.apply_errors.append(f"{batch.view_name}@{batch.lsn}: {exc}")
+            finally:
+                self._queue.task_done()
+
+    def _apply(self, batch: ShipmentBatch, resyncing: bool = False) -> None:
+        feed = f"view:{batch.view_name}"
+        if batch.kind == "drop":
+            self.index.drop_feed(feed)
+            self.applied.pop(batch.view_name, None)
+            self.revisions.pop(batch.view_name, None)
+            self._checkpoint()
+            return
+        if batch.kind == "snapshot":
+            documents = (
+                view_row_document(batch.view_name, feed, row, batch.lsn, self.entity_type)
+                for row in batch.rows
+            )
+            self.index.replace_feed(feed, documents, batch.lsn)
+            # Snapshots may rewind across revisions: set, don't advance.
+            self.applied[batch.view_name] = batch.lsn
+            self.revisions[batch.view_name] = batch.revision
+            self._commit(batch.view_name)
+            return
+        # delta batch
+        applied = self.applied.of(batch.view_name)
+        if batch.lsn <= applied and self.revisions.get(batch.view_name) == batch.revision:
+            self.batches_skipped += 1            # duplicate / already covered
+            return
+        if not resyncing and (
+            self.revisions.get(batch.view_name) != batch.revision
+            or batch.prev_lsn > applied
+        ):
+            # Missed a shipment (or never saw this lineage): resync instead
+            # of applying a delta onto a base it does not extend.
+            self.gaps_detected += 1
+            self.resync(batch.view_name)
+            return
+        rows = batch.rows_by_subject()
+        delta = batch.delta
+        upserts = [
+            view_row_document(batch.view_name, feed, row, batch.lsn, self.entity_type)
+            for row in rows.values()
+        ]
+        deleted_ids = [f"{batch.view_name}:{s}" for s in sorted(delta.deleted)]
+        # A changed subject with no shipped row vanished from the artifact:
+        # stop serving it rather than keep a stale copy.
+        deleted_ids.extend(
+            f"{batch.view_name}:{s}" for s in sorted(delta.changed) if s not in rows
+        )
+        self.index.apply_feed_delta(feed, upserts, deleted_ids, batch.lsn)
+        self.applied.advance(batch.view_name, batch.lsn)
+        self.revisions[batch.view_name] = batch.revision
+        # Watermark-only (advance) batches skip the checkpoint write: a
+        # restart catch-up re-stamps the current watermark anyway, and a
+        # per-flush no-op fsync per view per replica adds up fast.
+        self._commit(batch.view_name, persist=bool(upserts or deleted_ids))
+
+    def _commit(self, view_name: str, persist: bool = True) -> None:
+        self.batches_applied += 1
+        if persist:
+            self._checkpoint()
+        if self.watermark_sink is not None:
+            self.watermark_sink(self.name, view_name, self.applied.of(view_name))
+
+    def _checkpoint(self) -> None:
+        if self.journal_store is not None:
+            self.journal_store.save_replica_checkpoint(
+                self.name, dict(self.applied), dict(self.revisions)
+            )

@@ -1,0 +1,185 @@
+"""LSN-aware read routing over a consistent-hash ring of replicas.
+
+The :class:`ShardRouter` spreads entities across replicas with a consistent
+hash ring (stable across processes — Python's salted ``hash`` is never used)
+and serves point reads under a selectable :class:`Consistency` level, checked
+against each replica's per-view applied-LSN watermark:
+
+* ``any`` — serve from the first live owner, staleness be damned;
+* ``bounded_staleness(max_lag_lsns)`` — the serving replica may lag the
+  primary head by at most that many log positions;
+* ``read_your_writes(min_lsn)`` — the serving replica must have applied at
+  least the LSN of the write the reader just made.
+
+When the preferred owner fails the check the router walks the ring to the
+next replicas (a *fallback read*, counted); when no live replica satisfies
+the level it raises :class:`~repro.errors.StaleReadError` — an honest "wait
+or relax" answer instead of a silently stale row.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReplicaUnavailableError, ServingError, StaleReadError
+
+
+@dataclass(frozen=True)
+class Consistency:
+    """A read's freshness requirement, checked against applied-LSN watermarks."""
+
+    level: str                       # "any" | "bounded_staleness" | "read_your_writes"
+    max_lag_lsns: int = 0
+    min_lsn: int = 0
+
+    @classmethod
+    def any(cls) -> "Consistency":
+        """Serve from any live replica regardless of lag."""
+        return cls(level="any")
+
+    @classmethod
+    def bounded_staleness(cls, max_lag_lsns: int) -> "Consistency":
+        """Serve only from replicas within *max_lag_lsns* of the primary head."""
+        if max_lag_lsns < 0:
+            raise ServingError("bounded staleness needs a non-negative lag bound")
+        return cls(level="bounded_staleness", max_lag_lsns=max_lag_lsns)
+
+    @classmethod
+    def read_your_writes(cls, min_lsn: int) -> "Consistency":
+        """Serve only from replicas that applied at least *min_lsn*."""
+        return cls(level="read_your_writes", min_lsn=min_lsn)
+
+
+#: The default level: availability first.
+ANY = Consistency.any()
+
+
+def _stable_hash(key: str) -> int:
+    return int.from_bytes(hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class ShardRouter:
+    """Consistent-hash read router over the fleet's replica nodes."""
+
+    def __init__(
+        self,
+        head_lsn_source: Callable[[], int],
+        virtual_nodes: int = 32,
+    ) -> None:
+        if virtual_nodes <= 0:
+            raise ServingError("the hash ring needs at least one virtual node per replica")
+        self.head_lsn_source = head_lsn_source
+        self.virtual_nodes = virtual_nodes
+        self.replicas: dict[str, object] = {}
+        self._ring: list[tuple[int, str]] = []   # (point, replica name), sorted
+        self.reads_routed = 0
+        self.fallback_reads = 0                  # served by a non-preferred owner
+        self.consistency_rejections = 0          # replicas skipped for staleness
+
+    # -------------------------------------------------------------- #
+    # membership
+    # -------------------------------------------------------------- #
+    def add_replica(self, node) -> None:
+        """Add a replica node to the ring (``virtual_nodes`` points each)."""
+        if node.name in self.replicas:
+            raise ServingError(f"replica {node.name!r} is already routed")
+        self.replicas[node.name] = node
+        for index in range(self.virtual_nodes):
+            point = _stable_hash(f"{node.name}#{index}")
+            bisect.insort(self._ring, (point, node.name))
+
+    def remove_replica(self, name: str) -> None:
+        """Remove a replica; its key ranges redistribute to ring successors."""
+        self.replicas.pop(name, None)
+        self._ring = [(point, owner) for point, owner in self._ring if owner != name]
+
+    # -------------------------------------------------------------- #
+    # routing
+    # -------------------------------------------------------------- #
+    def owners(self, subject: str, count: int | None = None) -> list[str]:
+        """The replicas responsible for *subject*, in ring (preference) order."""
+        if not self._ring:
+            return []
+        limit = count if count is not None else len(self.replicas)
+        start = bisect.bisect_left(self._ring, (_stable_hash(subject), ""))
+        ordered: list[str] = []
+        for offset in range(len(self._ring)):
+            _, name = self._ring[(start + offset) % len(self._ring)]
+            if name not in ordered:
+                ordered.append(name)
+                if len(ordered) >= limit:
+                    break
+        return ordered
+
+    def read(self, view_name: str, subject: str, consistency: Consistency = ANY):
+        """Serve one row document of *view_name* for *subject*.
+
+        Walks the subject's owners in preference order, skipping dead
+        replicas, replicas that do not serve the view at all (a node that
+        just joined and has not been seeded must not report false misses),
+        and replicas that fail the consistency check.  Returns the document
+        (or ``None`` when the qualifying replica does not serve the
+        subject — a real miss, e.g. a deleted row).  Raises
+        :class:`~repro.errors.ReplicaUnavailableError` when no owner is
+        alive and :class:`~repro.errors.StaleReadError` when live owners
+        exist but none satisfies *consistency*.
+        """
+        owners = self.owners(subject)
+        if not owners:
+            raise ReplicaUnavailableError("the router has no replicas to serve reads")
+        self.reads_routed += 1
+        saw_live = False
+        for position, name in enumerate(owners):
+            node = self.replicas[name]
+            if not node.alive:
+                continue
+            saw_live = True
+            if not node.serves_view(view_name):
+                continue
+            if not self.satisfies(node, view_name, consistency):
+                self.consistency_rejections += 1
+                continue
+            if position > 0:
+                self.fallback_reads += 1
+            return node.get(view_name, subject)
+        if not saw_live:
+            raise ReplicaUnavailableError(
+                f"no live replica among owners {owners} of {subject!r}"
+            )
+        raise StaleReadError(
+            f"no replica satisfies {consistency.level} for view {view_name!r} "
+            f"(owners {owners}, head LSN {self.head_lsn_source()})"
+        )
+
+    def satisfies(self, node, view_name: str, consistency: Consistency) -> bool:
+        """Whether *node*'s applied watermark meets *consistency* for the view."""
+        if consistency.level == "any":
+            return True
+        applied = node.applied_lsn(view_name)
+        if consistency.level == "bounded_staleness":
+            return applied >= self.head_lsn_source() - consistency.max_lag_lsns
+        if consistency.level == "read_your_writes":
+            return applied >= consistency.min_lsn
+        raise ServingError(f"unknown consistency level {consistency.level!r}")
+
+    # -------------------------------------------------------------- #
+    # introspection
+    # -------------------------------------------------------------- #
+    def shard_map(self, subjects: list[str]) -> dict[str, str]:
+        """Preferred owner per subject (for balance inspection)."""
+        return {subject: (self.owners(subject, 1) or [""])[0] for subject in subjects}
+
+    def replica_lag(self, view_name: str) -> dict[str, int]:
+        """Per-replica lag behind the primary head for one view, in LSNs."""
+        head = self.head_lsn_source()
+        return {
+            name: max(0, head - node.applied_lsn(view_name))
+            for name, node in sorted(self.replicas.items())
+        }
+
+    def healthy_replicas(self) -> list[str]:
+        """Names of the replicas currently alive."""
+        return sorted(name for name, node in self.replicas.items() if node.alive)

@@ -1,0 +1,641 @@
+"""Replicated serving fleet: journals, shipping, replicas, routing.
+
+Covers the serving subsystem end to end: durable segmented journal storage
+(persistence, recovery, compaction-aware truncation, gap signalling),
+journal shipping over the replication bus, asynchronous replica apply with
+gap-triggered resync, crash/restart catch-up from persisted journals, and
+LSN-aware consistent-hash read routing under the three consistency levels.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.metadata import MetadataStore
+from repro.engine.views import ViewCatalog, ViewDefinition, ViewDelta, ViewManager
+from repro.errors import (
+    JournalGapError,
+    ReplicaUnavailableError,
+    ServingError,
+    StaleReadError,
+)
+from repro.live.engine import LiveGraphEngine
+from repro.serving import (
+    Consistency,
+    FileJournalBackend,
+    InMemoryJournalBackend,
+    JournalStore,
+    ReplicaNode,
+    ReplicationBus,
+    ServingFleet,
+    ShardRouter,
+    ShipmentBatch,
+)
+
+
+# ------------------------------------------------------------------ #
+# harness: a tiny row view over a mutable model store
+# ------------------------------------------------------------------ #
+def make_primary(metadata=None, journal_limit=256):
+    """A one-view primary: ``rows`` maintained through apply_delta."""
+    store: dict[str, int] = {}
+    clock = {"lsn": 1}
+    catalog = ViewCatalog()
+
+    def create(context):
+        return {e: {"subject": e, "value": v} for e, v in store.items()}
+
+    def apply_delta(context, delta: ViewDelta):
+        artifact = dict(context.artifact("rows"))
+        for eid in delta.changed:
+            artifact[eid] = {"subject": eid, "value": store[eid]}
+        for eid in delta.deleted:
+            artifact.pop(eid, None)
+        return artifact
+
+    catalog.register(ViewDefinition(
+        "rows", "analytics", create=create, apply_delta=apply_delta,
+        scope=lambda eid: eid in store,
+    ))
+    manager = ViewManager(
+        catalog, engines={}, metadata=metadata,
+        lsn_source=lambda: clock["lsn"], entity_source=lambda: list(store),
+        journal_limit=journal_limit,
+    )
+    return store, clock, manager
+
+
+def put(store, clock, manager, eid, value, added=False):
+    is_new = added or eid not in store
+    store[eid] = value
+    clock["lsn"] += 1
+    manager.enqueue([eid], lsn=clock["lsn"], added_entity_ids=[eid] if is_new else [])
+
+
+def remove(store, clock, manager, eid):
+    store.pop(eid, None)
+    clock["lsn"] += 1
+    manager.enqueue([], lsn=clock["lsn"], deleted_entity_ids=[eid])
+
+
+def delta(added=(), updated=(), deleted=(), first_lsn=1, last_lsn=1):
+    return ViewDelta(
+        added=frozenset(added), updated=frozenset(updated),
+        deleted=frozenset(deleted), first_lsn=first_lsn, last_lsn=last_lsn,
+    )
+
+
+# ------------------------------------------------------------------ #
+# journal store
+# ------------------------------------------------------------------ #
+class TestJournalStore:
+    def test_append_and_deltas_since_merge(self):
+        store = JournalStore()
+        store.append_delta("v", 1, delta(added=["a"], first_lsn=1, last_lsn=1))
+        store.append_delta("v", 1, delta(updated=["a"], added=["b"], first_lsn=2, last_lsn=2))
+        store.append_delta("v", 1, delta(deleted=["b"], first_lsn=3, last_lsn=3))
+        merged = store.deltas_since("v", 0)
+        assert merged.added == frozenset({"a"})
+        assert merged.deleted == frozenset({"b"})
+        assert store.deltas_since("v", 2).deleted == frozenset({"b"})
+        assert store.deltas_since("v", 3).is_empty()
+        assert store.high_water_mark("v") == 3
+        assert store.deltas_since("unknown", 0) is None
+
+    def test_truncate_raises_gap_below_floor(self):
+        store = JournalStore()
+        store.append_delta("v", 1, delta(added=["a"], first_lsn=1, last_lsn=1))
+        store.record_truncate("v", 1, lsn=5)
+        with pytest.raises(JournalGapError) as excinfo:
+            store.deltas_since("v", 3)
+        assert excinfo.value.view_name == "v"
+        assert excinfo.value.floor_lsn == 5
+        assert store.deltas_since("v", 5).is_empty()
+
+    def test_segment_rolling_and_compaction_aware_truncation(self):
+        store = JournalStore(segment_records=2)
+        for lsn in range(1, 8):
+            store.append_delta("v", 1, delta(added=[f"e{lsn}"], first_lsn=lsn, last_lsn=lsn))
+        assert store.stats()["v"]["segments"] == 4
+        # every consumer reached LSN 4: the first two whole segments drop
+        assert store.truncate_below("v", 4) == 2
+        assert store.floor_lsn("v") == 4
+        assert store.deltas_since("v", 4).added == frozenset({"e5", "e6", "e7"})
+        with pytest.raises(JournalGapError):
+            store.deltas_since("v", 3)
+        # the active (last) segment is never dropped
+        assert store.truncate_below("v", 100) == 1
+        assert store.stats()["v"]["segments"] == 1
+
+    def test_revision_change_drops_stale_history(self):
+        store = JournalStore()
+        store.append_delta("v", 1, delta(added=["a"], first_lsn=1, last_lsn=1))
+        store.append_delta("v", 2, delta(added=["b"], first_lsn=2, last_lsn=2))
+        assert store.revision_of("v") == 2
+        assert store.deltas_since("v", 0).added == frozenset({"b"})
+
+    def test_file_backend_recovery_across_restart(self, tmp_path):
+        backend = FileJournalBackend(tmp_path, fsync=True)
+        store = JournalStore(backend, segment_records=2)
+        for lsn in range(1, 6):
+            store.append_delta("song_rows", 3, delta(added=[f"e{lsn}"],
+                                                     first_lsn=lsn, last_lsn=lsn))
+        store.truncate_below("song_rows", 2)
+        store.save_replica_checkpoint("replica-0", {"song_rows": 4}, {"song_rows": 3})
+
+        # a new process: fresh store over the same directory
+        recovered = JournalStore(FileJournalBackend(tmp_path), segment_records=2)
+        assert recovered.recovered_records > 0
+        assert recovered.revision_of("song_rows") == 3
+        assert recovered.floor_lsn("song_rows") == 2
+        assert recovered.deltas_since("song_rows", 4).added == frozenset({"e5"})
+        with pytest.raises(JournalGapError):
+            recovered.deltas_since("song_rows", 1)
+        applied, revisions = recovered.load_replica_checkpoint("replica-0")
+        assert applied == {"song_rows": 4}
+        assert revisions == {"song_rows": 3}
+
+    def test_file_backend_keeps_dot_prefixed_view_names_apart(self, tmp_path):
+        """Regression: a view named 'a.b' must not shadow view 'a' in the
+        segment-file namespace (the dot also separates the segment id)."""
+        store = JournalStore(FileJournalBackend(tmp_path))
+        store.append_delta("rows", 1, delta(added=["x"], first_lsn=1, last_lsn=1))
+        store.append_delta("rows.v2", 1, delta(added=["y"], first_lsn=1, last_lsn=1))
+        recovered = JournalStore(FileJournalBackend(tmp_path))
+        assert recovered.view_names() == ["rows", "rows.v2"]
+        assert recovered.deltas_since("rows", 0).added == frozenset({"x"})
+        assert recovered.deltas_since("rows.v2", 0).added == frozenset({"y"})
+
+    def test_in_memory_backend_survives_store_restart(self):
+        backend = InMemoryJournalBackend()
+        store = JournalStore(backend)
+        store.append_delta("v", 1, delta(added=["a"], first_lsn=1, last_lsn=1))
+        restarted = JournalStore(backend)
+        assert restarted.deltas_since("v", 0).added == frozenset({"a"})
+
+    def test_empty_delta_and_bad_segment_size_rejected(self):
+        with pytest.raises(ServingError):
+            JournalStore(segment_records=0)
+        with pytest.raises(ServingError):
+            JournalStore().append_delta("v", 1, delta())
+
+
+# ------------------------------------------------------------------ #
+# shipping and replicas
+# ------------------------------------------------------------------ #
+class TestShippingAndReplicas:
+    def test_flush_ships_deltas_and_replicas_converge(self):
+        store, clock, manager = make_primary()
+        store.update({"a": 1, "b": 2})
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=3).start()
+        assert fleet.serve_view("rows") == 2
+        put(store, clock, manager, "a", 10)
+        put(store, clock, manager, "c", 3, added=True)
+        remove(store, clock, manager, "b")
+        manager.flush()
+        assert fleet.drain()
+        for node in fleet.replicas.values():
+            assert node.index.feed_documents("view:rows") == {"rows:a", "rows:c"}
+            assert node.get("rows", "a").value("value") == 10
+            assert node.get("rows", "b") is None
+            assert node.applied_lsn("rows") == clock["lsn"]
+            # catch-up rode the journal: exactly one snapshot (the initial ship)
+            assert node.snapshot_resyncs == 0
+        assert manager.states["rows"].builds == 1
+        fleet.stop()
+
+    def test_dead_replica_does_not_block_the_bus(self):
+        store, clock, manager = make_primary()
+        store["a"] = 1
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=2).start()
+        fleet.serve_view("rows")
+        fleet.kill_replica("replica-0")
+        put(store, clock, manager, "a", 2)
+        manager.flush()
+        assert fleet.drain()
+        assert fleet.replicas["replica-1"].get("rows", "a").value("value") == 2
+        assert fleet.bus.delivery_errors   # the dead replica was counted, not fatal
+        fleet.stop()
+
+    def test_backpressure_drop_heals_through_gap_resync(self):
+        store, clock, manager = make_primary()
+        store["a"] = 1
+        manager.materialize()
+        bus = ReplicationBus()
+        from repro.serving.shipping import JournalShipper
+        shipper = JournalShipper(manager, bus, JournalStore())
+        node = ReplicaNode("r0", queue_capacity=1, resync_source=shipper)
+        bus.subscribe(node)
+        node.start()
+        shipper.ship_view("rows")
+        # stall the worker so the tiny queue overflows
+        node._apply_lock.acquire()
+        try:
+            for value in (2, 3, 4):
+                put(store, clock, manager, "a", value)
+                manager.flush()
+        finally:
+            node._apply_lock.release()
+        assert node.backpressure_drops >= 1
+        node.drain()                       # apply whatever survived the overflow
+        assert node.applied_lsn("rows") < clock["lsn"]
+        # the next shipped batch does not extend what the replica applied
+        # (its predecessor was dropped): gap detection must trigger a resync
+        put(store, clock, manager, "a", 5)
+        manager.flush()
+        node.drain()
+        deadline = time.monotonic() + 5
+        while node.applied_lsn("rows") < clock["lsn"] and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert node.gaps_detected >= 1
+        assert node.get("rows", "a").value("value") == 5
+        assert node.applied_lsn("rows") == clock["lsn"]
+        node.stop()
+
+    def test_rebuild_ships_snapshot_not_delta(self):
+        store, clock, manager = make_primary()
+        store["a"] = 1
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=1).start()
+        fleet.serve_view("rows")
+        snapshots_before = fleet.shipper.snapshots_shipped
+        store["b"] = 2
+        clock["lsn"] += 1
+        manager.mark_full_refresh(lsn=clock["lsn"])    # unknown extent: rebuild
+        manager.flush()
+        assert fleet.drain()
+        assert fleet.shipper.snapshots_shipped == snapshots_before + 1
+        node = fleet.replicas["replica-0"]
+        assert node.index.feed_documents("view:rows") == {"rows:a", "rows:b"}
+        fleet.stop()
+
+    def test_drop_unserves_the_view_on_replicas(self):
+        store, clock, manager = make_primary()
+        store["a"] = 1
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=1).start()
+        fleet.serve_view("rows")
+        assert fleet.drain()
+        manager.drop("rows")
+        assert fleet.drain()
+        node = fleet.replicas["replica-0"]
+        assert node.index.feed_documents("view:rows") == set()
+        assert node.applied_lsn("rows") == 0
+        fleet.stop()
+
+    def test_crash_restart_catches_up_from_persisted_journal(self, tmp_path):
+        journal = JournalStore(FileJournalBackend(tmp_path))
+        store, clock, manager = make_primary()
+        store.update({"a": 1, "b": 2})
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=3, journal_store=journal).start()
+        fleet.serve_view("rows")
+        assert fleet.drain()
+        # crash replica-1, then keep flushing deltas it will miss
+        fleet.kill_replica("replica-1")
+        put(store, clock, manager, "a", 11)
+        put(store, clock, manager, "c", 3, added=True)
+        remove(store, clock, manager, "b")
+        manager.flush()
+        assert fleet.drain()
+        builds_before = manager.states["rows"].builds
+        caught_up = fleet.restart_replica("replica-1")
+        assert caught_up == ["rows"]
+        node = fleet.replicas["replica-1"]
+        assert node.applied_lsn("rows") == clock["lsn"]
+        assert node.index.feed_documents("view:rows") == {"rows:a", "rows:c"}
+        assert node.get("rows", "a").value("value") == 11
+        # journal replay, not artifact rebuild: no create ran, no snapshot shipped
+        assert manager.states["rows"].builds == builds_before == 1
+        assert node.snapshot_resyncs == 0
+        fleet.stop()
+
+    def test_restart_snapshot_resyncs_when_journal_compacted_past_checkpoint(self):
+        journal = JournalStore(segment_records=1)
+        store, clock, manager = make_primary()
+        store["a"] = 1
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=2, journal_store=journal).start()
+        fleet.serve_view("rows")
+        assert fleet.drain()
+        fleet.kill_replica("replica-1")
+        for value in (2, 3, 4):
+            put(store, clock, manager, "a", value)
+            manager.flush()
+        assert fleet.drain()
+        # fleet.compact_journals() is checkpoint-safe: the crashed replica's
+        # applied LSN floors it, so after compaction its catch-up delta is
+        # still answerable (only the ship-time truncate marker may drop).
+        fleet.compact_journals()
+        applied = fleet.replicas["replica-1"].applied_lsn("rows")
+        assert journal.deltas_since("rows", applied) is not None
+        # force-truncate past its checkpoint to model an operator compacting
+        # a long-dead replica away — the resulting staleness must surface as
+        # an explicit gap, not a diff
+        journal.truncate_below("rows", fleet.replicas["replica-0"].applied_lsn("rows"))
+        with pytest.raises(JournalGapError):
+            journal.deltas_since("rows", fleet.replicas["replica-1"].applied_lsn("rows"))
+        fleet.restart_replica("replica-1")
+        node = fleet.replicas["replica-1"]
+        assert node.snapshot_resyncs == 1               # resynced, explicitly
+        assert node.get("rows", "a").value("value") == 4
+        assert node.applied_lsn("rows") == clock["lsn"]
+        fleet.stop()
+
+    def test_restart_after_view_drop_unserves_instead_of_crashing(self):
+        """Regression: a dropped view must not abort a replica restart — the
+        catch-up answers with a drop batch, not a ViewError from artifact()."""
+        store, clock, manager = make_primary()
+        store["a"] = 1
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=2).start()
+        fleet.serve_view("rows")
+        assert fleet.drain()
+        fleet.kill_replica("replica-1")
+        manager.drop("rows")
+        caught_up = fleet.restart_replica("replica-1")
+        assert caught_up == ["rows"]
+        node = fleet.replicas["replica-1"]
+        assert node.index.feed_documents("view:rows") == set()
+        assert node.applied_lsn("rows") == 0
+        fleet.stop()
+
+    def test_stopped_fleet_detaches_from_the_manager(self):
+        """Regression: stop() must detach the shipper — a stopped fleet kept
+        persisting and publishing on every later flush."""
+        store, clock, manager = make_primary()
+        store["a"] = 1
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=1).start()
+        fleet.serve_view("rows")
+        assert fleet.drain()
+        fleet.stop()
+        published = fleet.bus.batches_published
+        put(store, clock, manager, "a", 2)
+        manager.flush()
+        assert fleet.bus.batches_published == published
+        assert not manager.journal_listeners
+        assert not fleet.bus.delivery_errors
+
+    def test_late_joining_replica_is_seeded_before_owning_reads(self):
+        """Regression: a replica added after serve_view owns key ranges
+        immediately — without seeding, its empty index answered routed reads
+        with false misses until some future delta happened to ship."""
+        store, clock, manager = make_primary()
+        for i in range(10):
+            store[f"e{i}"] = i
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=2).start()
+        fleet.serve_view("rows")
+        assert fleet.drain()
+        fleet.add_replica("replica-9")
+        for i in range(10):
+            document = fleet.read("rows", f"e{i}", Consistency.any())
+            assert document is not None, f"false miss for e{i}"
+        assert fleet.replicas["replica-9"].serves_view("rows")
+        fleet.stop()
+
+    def test_reship_after_unship_window_forces_resync_not_stale_catchup(self):
+        """Regression: deltas flushed while a view was unshipped are never
+        persisted; re-shipping must re-baseline the journal so a restarting
+        replica resyncs from the snapshot instead of catching up through the
+        hole and certifying stale rows as fresh."""
+        journal = JournalStore()
+        store, clock, manager = make_primary()
+        store["a"] = 2
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=2, journal_store=journal).start()
+        fleet.serve_view("rows")
+        assert fleet.drain()
+        fleet.kill_replica("replica-0")
+        fleet.shipper.unship_view("rows")
+        put(store, clock, manager, "a", 99)       # falls into the unshipped hole
+        manager.flush()
+        fleet.serve_view("rows")                  # re-ship: snapshot baseline
+        assert fleet.drain()
+        fleet.restart_replica("replica-0")
+        node = fleet.replicas["replica-0"]
+        assert node.get("rows", "a").value("value") == 99
+        assert node.applied_lsn("rows") == clock["lsn"]
+        assert node.snapshot_resyncs == 1         # the hole forced a snapshot
+        fleet.stop()
+
+    def test_journal_persist_failure_resyncs_the_chain_via_snapshot(self):
+        """Regression: a delta the store failed to persist must not be
+        silently skipped on the bus — the chain would extend every replica's
+        applied LSN past changes they never saw.  The shipper snapshots."""
+        journal = JournalStore()
+        store, clock, manager = make_primary()
+        store["a"] = 1
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=1, journal_store=journal).start()
+        fleet.serve_view("rows")
+        assert fleet.drain()
+        broken = {"armed": True}
+        real_append = journal.append_delta
+
+        def failing_append(view_name, revision, delta_):
+            if broken["armed"]:
+                broken["armed"] = False
+                raise ServingError("disk full")
+            return real_append(view_name, revision, delta_)
+
+        journal.append_delta = failing_append
+        put(store, clock, manager, "a", 2)
+        manager.flush()                       # listener error is swallowed...
+        assert manager.journal_listener_errors
+        assert fleet.drain()
+        node = fleet.replicas["replica-0"]
+        # ...but the replica was resynced by snapshot, not silently skipped
+        assert node.get("rows", "a").value("value") == 2
+        assert node.applied_lsn("rows") == clock["lsn"]
+        put(store, clock, manager, "a", 3)    # the healed chain keeps working
+        manager.flush()
+        assert fleet.drain()
+        assert node.get("rows", "a").value("value") == 3
+        fleet.stop()
+
+    def test_remove_replica_forgets_checkpoint_and_watermarks(self):
+        metadata = MetadataStore()
+        store, clock, manager = make_primary(metadata=metadata)
+        store["a"] = 1
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=2, metadata=metadata).start()
+        fleet.serve_view("rows")
+        assert fleet.drain()
+        assert metadata.replica_watermark("replica-1/rows") > 0
+        fleet.remove_replica("replica-1")
+        assert "replica-1" not in fleet.replicas
+        assert fleet.router.healthy_replicas() == ["replica-0"]
+        assert metadata.replica_watermark("replica-1/rows") == 0
+        assert fleet.journal_store.load_replica_checkpoint("replica-1") == ({}, {})
+        put(store, clock, manager, "a", 2)    # shipping continues without it
+        manager.flush()
+        assert fleet.drain()
+        assert fleet.replicas["replica-0"].get("rows", "a").value("value") == 2
+        fleet.stop()
+
+    def test_replica_watermarks_mirrored_into_metadata(self):
+        metadata = MetadataStore()
+        store, clock, manager = make_primary(metadata=metadata)
+        store["a"] = 1
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=2, metadata=metadata).start()
+        fleet.serve_view("rows")
+        put(store, clock, manager, "a", 2)
+        manager.flush()
+        assert fleet.drain()
+        for name in ("replica-0", "replica-1"):
+            assert metadata.replica_watermark(f"{name}/rows") == clock["lsn"]
+        assert metadata.lagging_replicas(clock["lsn"] + 2) == {
+            "replica-0/rows": 2, "replica-1/rows": 2,
+        }
+        # replica marks live in their own namespace: store freshness unaffected
+        assert metadata.minimum_watermark() == 0
+        fleet.stop()
+
+
+# ------------------------------------------------------------------ #
+# routing
+# ------------------------------------------------------------------ #
+class FakeReplica:
+    """A minimal routable node with a settable applied LSN."""
+
+    def __init__(self, name, applied=0, alive=True):
+        self.name = name
+        self._applied = applied
+        self.alive = alive
+        self.docs = {}
+
+    def applied_lsn(self, view_name):
+        return self._applied
+
+    def serves_view(self, view_name):
+        return True
+
+    def get(self, view_name, subject):
+        return self.docs.get(f"{view_name}:{subject}")
+
+
+class TestShardRouter:
+    def test_owner_assignment_is_stable_and_balanced(self):
+        router = ShardRouter(lambda: 0)
+        nodes = [FakeReplica(f"r{i}") for i in range(3)]
+        for node in nodes:
+            router.add_replica(node)
+        subjects = [f"kg:e{i}" for i in range(300)]
+        owners = router.shard_map(subjects)
+        assert owners == router.shard_map(subjects)        # deterministic
+        counts = {name: 0 for name in router.replicas}
+        for owner in owners.values():
+            counts[owner] += 1
+        assert all(count > 0 for count in counts.values())  # no empty shard
+
+    def test_consistency_levels_gate_replicas(self):
+        router = ShardRouter(lambda: 10)
+        fresh = FakeReplica("fresh", applied=10)
+        stale = FakeReplica("stale", applied=4)
+        for node in (fresh, stale):
+            node.docs["v:x"] = object()
+            router.add_replica(node)
+        assert router.satisfies(stale, "v", Consistency.any())
+        assert not router.satisfies(stale, "v", Consistency.bounded_staleness(2))
+        assert router.satisfies(stale, "v", Consistency.bounded_staleness(6))
+        assert not router.satisfies(stale, "v", Consistency.read_your_writes(5))
+        assert router.satisfies(fresh, "v", Consistency.read_your_writes(10))
+
+    def test_read_falls_back_and_raises_honestly(self):
+        router = ShardRouter(lambda: 10)
+        fresh = FakeReplica("fresh", applied=10)
+        stale = FakeReplica("stale", applied=4)
+        fresh.docs["v:x"] = "fresh-doc"
+        stale.docs["v:x"] = "stale-doc"
+        router.add_replica(fresh)
+        router.add_replica(stale)
+        # read_your_writes(10): only the fresh replica qualifies, whoever owns x
+        assert router.read("v", "x", Consistency.read_your_writes(10)) == "fresh-doc"
+        with pytest.raises(StaleReadError):
+            router.read("v", "x", Consistency.read_your_writes(11))
+        fresh.alive = False
+        stale.alive = False
+        with pytest.raises(ReplicaUnavailableError):
+            router.read("v", "x")
+        router.remove_replica("fresh")
+        router.remove_replica("stale")
+        with pytest.raises(ReplicaUnavailableError):
+            router.read("v", "x")
+
+    def test_routed_reads_while_primary_flushes(self):
+        """Acceptance: a 3-replica fleet serves reads during primary flushes."""
+        store, clock, manager = make_primary()
+        for i in range(20):
+            store[f"e{i}"] = i
+        manager.materialize()
+        fleet = ServingFleet(manager, num_replicas=3).start()
+        fleet.serve_view("rows")
+        assert fleet.drain()
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    fleet.read("rows", "e1", Consistency.any())
+                except Exception as exc:  # noqa: BLE001 - collected for the assert
+                    errors.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for round_ in range(15):
+                put(store, clock, manager, f"e{round_ % 20}", 100 + round_)
+                manager.flush()
+        finally:
+            stop.set()
+            thread.join()
+        assert fleet.drain()
+        assert not errors
+        assert fleet.read(
+            "rows", "e1", Consistency.read_your_writes(manager.built_at_lsn("rows"))
+        ).value("value") in (1, 101)  # e1 updated in round 1
+        assert fleet.router.reads_routed > 0
+        fleet.stop()
+
+
+# ------------------------------------------------------------------ #
+# live engine integration: explicit journal-gap resync
+# ------------------------------------------------------------------ #
+def test_live_view_feed_counts_journal_gap_resyncs():
+    store, clock, manager = make_primary(journal_limit=2)
+    store.update({"a": 1, "b": 2})
+    manager.materialize()
+
+    class EngineShim:
+        view_manager = manager
+
+        def view_artifact(self, name):
+            return list(manager.artifact(name).values())
+
+    shim = EngineShim()
+    live = LiveGraphEngine()
+    assert live.load_view_artifact(shim, "rows") == 2
+    # a from-scratch rebuild truncates the journal past the feed's version
+    store["c"] = 3
+    clock["lsn"] += 1
+    manager.mark_full_refresh(lsn=clock["lsn"])
+    manager.flush()
+    assert live.load_view_artifact(shim, "rows") == 3
+    assert live.view_feed_journal_gaps == 1
+    assert live.view_feed_full_loads == 2
+    # while a journal-covered catch-up stays incremental
+    put(store, clock, manager, "a", 9)
+    manager.flush()
+    assert live.load_view_artifact(shim, "rows") == 1
+    assert live.view_feed_incremental_loads == 1
+    assert live.view_feed_journal_gaps == 1
+    assert live.stats()["view_feed_journal_gaps"] == 1

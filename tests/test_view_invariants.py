@@ -35,9 +35,11 @@ from repro.engine.views import (
     ViewDelta,
     ViewManager,
 )
+from repro.errors import StaleReadError
 from repro.live.engine import LiveGraphEngine
 from repro.model.provenance import Provenance
 from repro.model.triples import ExtendedTriple, TripleStore
+from repro.serving import Consistency, InMemoryJournalBackend, JournalStore, ServingFleet
 
 
 def pytest_generate_tests(metafunc):
@@ -47,6 +49,9 @@ def pytest_generate_tests(metafunc):
     if "live_seed" in metafunc.fixturenames:
         # The end-to-end live sequences are heavier; cap their count.
         metafunc.parametrize("live_seed", range(min(runs, 60)))
+    if "fleet_seed" in metafunc.fixturenames:
+        # Replicated sequences spin up worker threads; cap their count.
+        metafunc.parametrize("fleet_seed", range(min(runs, 60)))
 
 
 # ------------------------------------------------------------------ #
@@ -529,10 +534,10 @@ def test_live_delta_consumption_matches_full_reload(live_seed, ontology):
             reference = LiveGraphEngine()
             reference.load_view_artifact(engine, "song_rows")
             feed = "view:song_rows"
-            assert _served_docs(live, live._feed_documents.get(feed, set())) == (
-                _served_docs(reference, reference._feed_documents.get(feed, set()))
+            assert _served_docs(live, live.index.feed_documents(feed)) == (
+                _served_docs(reference, reference.index.feed_documents(feed))
             )
-            assert set(live._feed_documents.get(feed, set())) == {
+            assert set(live.index.feed_documents(feed)) == {
                 f"song_rows:{s}" for s in songs
             }
 
@@ -689,6 +694,184 @@ def test_deletion_outside_every_scope_is_a_noop_flush():
     timings = manager.flush()
     assert set(timings) == {"alpha_rows", "alpha_index"}
     assert manager.artifact("alpha_rows") == {}
+
+
+# ------------------------------------------------------------------ #
+# regression: flush executor lifecycle is deterministic
+# ------------------------------------------------------------------ #
+def _flush_threads():
+    return {t for t in threading.enumerate() if t.name.startswith("view-flush")}
+
+
+def test_repeated_failing_flushes_do_not_leak_executor_threads():
+    """Regression: a failing parallel flush must shut its executor down —
+    repeated failures (or an abandoned manager after one) used to leave the
+    worker threads alive until garbage collection.  Thread accounting is
+    relative to a baseline: other managers in the process may hold pools."""
+    events: list = []
+    fail_on = {"a_root", "b_root"}          # both branches fail in parallel
+    catalog = _branch_catalog(events, fail_on=fail_on)
+    clock = {"lsn": 1}
+    manager = ViewManager(catalog, engines={}, lsn_source=lambda: clock["lsn"],
+                          max_workers=4)
+    manager.materialize()
+    baseline = _flush_threads()             # pool is lazy: none of ours yet
+    for round_ in range(2, 7):
+        clock["lsn"] = round_
+        manager.enqueue(["a:1", "b:1"], lsn=round_)
+        with pytest.raises(RuntimeError, match="branch down"):
+            manager.flush()
+        assert _flush_threads() <= baseline  # failure path reaped our pool
+    # the retry after healing recreates the pool and still succeeds
+    fail_on.clear()
+    timings = manager.flush()
+    assert set(timings) == {"a_root", "a_child", "b_root", "b_child"}
+    manager.close()
+    assert _flush_threads() <= baseline
+
+
+def test_view_manager_context_manager_reaps_flush_pool():
+    events: list = []
+    catalog = _branch_catalog(events, barrier=threading.Barrier(2))
+    clock = {"lsn": 1}
+    baseline = _flush_threads()
+    with ViewManager(catalog, engines={}, lsn_source=lambda: clock["lsn"],
+                     max_workers=2) as manager:
+        manager.materialize()
+        clock["lsn"] = 2
+        manager.enqueue(["a:1", "b:1"], lsn=2)
+        manager.flush()
+        assert _flush_threads() - baseline   # pool alive between flushes
+    assert _flush_threads() <= baseline
+
+
+# ------------------------------------------------------------------ #
+# replicated mode: seeded sequences over a serving fleet
+# ------------------------------------------------------------------ #
+def _alpha_feed_converged(manager, fleet) -> None:
+    """Every live replica serves exactly the primary's current artifact.
+
+    The artifact — not the raw model store — is the replication contract:
+    changes enqueued but not yet flushed are invisible to the primary's own
+    artifact and must be invisible to replicas too (the core invariant suite
+    separately proves artifact ≡ store at every flush).
+    """
+    artifact = manager.artifact("alpha_rows")
+    expected_ids = {f"alpha_rows:{eid}" for eid in artifact}
+    target_lsn = manager.built_at_lsn("alpha_rows")
+    for node in fleet.replicas.values():
+        if not node.alive:
+            continue
+        assert node.index.feed_documents("view:alpha_rows") == expected_ids
+        for eid, row in artifact.items():
+            document = node.get("alpha_rows", eid)
+            assert document is not None
+            assert document.value("value") == row["value"]
+        assert node.applied_lsn("alpha_rows") == target_lsn
+
+
+def test_replicated_fleet_sequences_converge_and_honor_consistency(fleet_seed):
+    """Random add/update/retype/delete/kill/restart interleavings: after every
+    drained flush the fleet converges on the primary's rows, read-your-writes
+    at the primary watermark always succeeds, and a crashed replica restarted
+    from the persisted journal catches up without a primary-side rebuild."""
+    rng = random.Random(9000 + fleet_seed)
+    store = ModelStore()
+    catalog, manager, clock = build_harness(store)
+    counter = 0
+    for _ in range(rng.randint(3, 6)):
+        counter += 1
+        store.entities[f"e{counter}"] = {"type": rng.choice(TYPES), "value": counter}
+    manager.materialize()
+    journal = JournalStore(InMemoryJournalBackend())
+    fleet = ServingFleet(manager, num_replicas=3, journal_store=journal).start()
+    fleet.serve_view("alpha_rows")
+    assert fleet.drain()
+    builds_baseline = manager.states["alpha_rows"].builds
+    killed: list[str] = []
+
+    def enqueue(changed=(), deleted=(), added=()):
+        clock["lsn"] += 1
+        manager.enqueue(changed, lsn=clock["lsn"], deleted_entity_ids=deleted,
+                        added_entity_ids=added)
+
+    try:
+        for _ in range(rng.randint(15, 30)):
+            op = rng.choices(
+                ["add", "update", "retype", "delete", "flush", "kill", "restart"],
+                weights=[20, 20, 10, 12, 25, 6, 7],
+            )[0]
+            if op == "add":
+                counter += 1
+                eid = f"e{counter}"
+                store.entities[eid] = {"type": rng.choice(TYPES), "value": counter}
+                enqueue([eid], added=[eid])
+            elif op == "update" and store.entities:
+                eid = rng.choice(sorted(store.entities))
+                store.entities[eid]["value"] += 100
+                enqueue([eid])
+            elif op == "retype" and store.entities:
+                eid = rng.choice(sorted(store.entities))
+                store.entities[eid]["type"] = rng.choice(TYPES)
+                enqueue([eid])
+            elif op == "delete" and store.entities:
+                eid = rng.choice(sorted(store.entities))
+                del store.entities[eid]
+                enqueue(deleted=[eid])
+            elif op == "flush":
+                manager.flush()
+                assert fleet.drain()
+                _alpha_feed_converged(manager, fleet)
+            elif op == "kill" and len(killed) < 2:      # keep one replica alive
+                name = rng.choice(sorted(set(fleet.replicas) - set(killed)))
+                fleet.kill_replica(name)
+                killed.append(name)
+            elif op == "restart" and killed:
+                name = killed.pop(rng.randrange(len(killed)))
+                fleet.restart_replica(name)
+                _alpha_feed_converged(manager, fleet)
+
+        # drain everything and bring crashed replicas back
+        manager.flush()
+        assert fleet.drain()
+        while killed:
+            fleet.restart_replica(killed.pop())
+        _alpha_feed_converged(manager, fleet)
+
+        # catch-up never forced a primary-side rebuild: create ran only once
+        assert manager.states["alpha_rows"].builds == builds_baseline == 1
+
+        # read-your-writes at the primary watermark holds on every entity
+        watermark = manager.built_at_lsn("alpha_rows")
+        for eid in store.of_type("alpha"):
+            document = fleet.read(
+                "alpha_rows", eid, Consistency.read_your_writes(watermark)
+            )
+            assert document is not None
+            assert document.value("value") == store.entities[eid]["value"]
+
+        # bounded staleness: zero lag is satisfiable after a drained flush...
+        if store.of_type("alpha"):
+            eid = store.of_type("alpha")[0]
+            assert fleet.read(
+                "alpha_rows", eid, Consistency.bounded_staleness(0)
+            ) is not None
+            # ...and unsatisfiable while an un-flushed delta lags every replica
+            store.entities[eid]["value"] += 1
+            enqueue([eid])
+            with pytest.raises(StaleReadError):
+                fleet.read("alpha_rows", eid, Consistency.bounded_staleness(0))
+            assert fleet.read(
+                "alpha_rows", eid,
+                Consistency.bounded_staleness(clock["lsn"]),
+            ) is not None
+            manager.flush()
+            assert fleet.drain()
+            assert fleet.read(
+                "alpha_rows", eid, Consistency.bounded_staleness(0)
+            ).value("value") == store.entities[eid]["value"]
+    finally:
+        fleet.stop()
 
 
 def test_engine_deletion_outside_scopes_skips_all_views(ontology):
