@@ -17,7 +17,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_bench_json
 from repro.engine.graph_engine import GraphEngine
 from repro.engine.views import ViewDefinition, ViewDelta
 from repro.serving import Consistency, ServingFleet
@@ -134,6 +134,16 @@ def bench_serving_restart_journal_vs_snapshot(benchmark, serving_env):
         ],
     )
     assert journal_seconds < snapshot_seconds, "journal replay must win wall-clock"
+    write_bench_json("BENCH_SERVCATCH.json", {
+        "benchmark": "SERVCATCH",
+        "restart_catchup": {
+            "changed_rows": DELTAS_PER_ROUND * SONGS_PER_DELTA,
+            "total_rows": len(songs),
+            "journal_replay_seconds": journal_seconds,
+            "snapshot_rebuild_seconds": snapshot_seconds,
+            "improvement_pct": improvement,
+        },
+    })
     benchmark(lambda: fleet.restart_replica(victim))
 
 
@@ -171,4 +181,11 @@ def bench_serving_routed_read_latency_under_lag(benchmark, serving_env):
     # in-process; the consistency check must not change the order of magnitude.
     assert ryw_p95 < 50.0
     assert fleet.router.reads_routed >= 1200
+    write_bench_json("BENCH_SERVCATCH.json", {
+        "routed_read_latency_ms": {
+            "any_p50": any_p50, "any_p95": any_p95,
+            "read_your_writes_p50": ryw_p50, "read_your_writes_p95": ryw_p95,
+            "bounded_staleness_p50": bounded_p50, "bounded_staleness_p95": bounded_p95,
+        },
+    })
     benchmark(lambda: fleet.read("song_rows", songs[0], Consistency.any()))

@@ -7,6 +7,10 @@ synthetic world and the reference KG once per session.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import pytest
 
 from repro.datagen import (
@@ -81,6 +85,33 @@ def bench_live_events(bench_world):
         bench_world, StreamConfig(num_games=12, num_stocks=8, num_flights=8, seed=3)
     )
     return generator.all_events()
+
+
+def write_bench_json(filename: str, payload: dict) -> str:
+    """Write a machine-readable benchmark summary for the CI artifact trail.
+
+    Summaries land in ``$BENCH_JSON_DIR`` (default: the working directory,
+    which in CI is the checkout root) so workflows can upload them as
+    per-commit artifacts and track the performance trajectory.  Re-runs in
+    one session merge into the existing file instead of clobbering sibling
+    benchmarks' sections.
+    """
+    out_dir = os.environ.get("BENCH_JSON_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, filename)
+    merged: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                merged = json.load(handle)
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(payload)
+    merged["written_at_unix"] = round(time.time(), 3)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:

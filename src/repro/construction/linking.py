@@ -15,7 +15,7 @@ types:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.construction.blocking import Blocker, BlockingConfig
 from repro.construction.clustering import (

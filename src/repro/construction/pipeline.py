@@ -11,7 +11,7 @@ measurement behind Figure 12.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.construction.incremental import ConstructionReport, IncrementalConstructor
 from repro.construction.matching import MatcherRegistry

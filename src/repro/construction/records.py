@@ -9,7 +9,7 @@ linking pipeline is agnostic to where a record came from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from repro.ml.similarity import normalize_string
 from repro.model.entity import KGEntity, SourceEntity

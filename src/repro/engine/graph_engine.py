@@ -34,7 +34,7 @@ from repro.engine.text_index import InvertedTextIndex, SearchHit, TextDocument
 from repro.engine.vector_db import VectorDB, VectorHit
 from repro.engine.views import ViewCatalog, ViewContext, ViewDefinition, ViewManager
 from repro.errors import EngineError
-from repro.model.entity import NAME_PREDICATES, KGEntity
+from repro.model.entity import KGEntity
 from repro.model.ontology import Ontology
 from repro.model.triples import ExtendedTriple, TripleStore
 

@@ -10,7 +10,7 @@ as a maintained view over the KG.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 import networkx as nx

@@ -21,6 +21,11 @@ position each serving replica has applied shipped view deltas up to.  The
 read router uses these to answer bounded-staleness and read-your-writes
 reads; like view marks, replica marks must not drag down
 :meth:`MetadataStore.minimum_watermark`.
+
+A fifth namespace mirrors per-view **row-checksum digests**: a content
+digest of the view's artifact rows stamped with the LSN it was computed at.
+Anti-entropy audits record the digest they verified against so divergence
+checks are observable with the same machinery as freshness.
 """
 
 from __future__ import annotations
@@ -60,6 +65,7 @@ class MetadataStore:
     view_marks: WatermarkMap = field(default_factory=WatermarkMap)
     journal_marks: WatermarkMap = field(default_factory=WatermarkMap)
     replica_marks: WatermarkMap = field(default_factory=WatermarkMap)
+    checksum_marks: dict[str, tuple[int, str]] = field(default_factory=dict)
     annotations: dict[str, dict] = field(default_factory=dict)
 
     # -------------------------------------------------------------- #
@@ -147,6 +153,28 @@ class MetadataStore:
     def lagging_replicas(self, head_lsn: int) -> dict[str, int]:
         """Replicas behind *head_lsn* and how many log positions behind."""
         return self.replica_marks.lagging(head_lsn)
+
+    # -------------------------------------------------------------- #
+    # view row-checksum digests
+    # -------------------------------------------------------------- #
+    def update_view_checksum(self, view_name: str, lsn: int, digest: str) -> None:
+        """Record the row-checksum *digest* of *view_name* computed at *lsn*.
+
+        Unlike watermarks a digest is not monotonic — a newer computation
+        (higher LSN) always replaces the recorded one; an older one is
+        dropped so a slow audit cannot overwrite a fresher digest.
+        """
+        recorded = self.checksum_marks.get(view_name)
+        if recorded is None or lsn >= recorded[0]:
+            self.checksum_marks[view_name] = (lsn, digest)
+
+    def view_checksum(self, view_name: str) -> tuple[int, str] | None:
+        """The ``(lsn, digest)`` last recorded for *view_name* (None if never)."""
+        return self.checksum_marks.get(view_name)
+
+    def clear_view_checksum(self, view_name: str) -> None:
+        """Forget a view's checksum digest (the view was dropped or redefined)."""
+        self.checksum_marks.pop(view_name, None)
 
     # -------------------------------------------------------------- #
     # annotations

@@ -91,6 +91,8 @@ consumer trusts a delta that undersells the change.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 import time
 import weakref
@@ -103,6 +105,56 @@ import networkx as nx
 
 from repro.engine.metadata import MetadataStore
 from repro.errors import JournalGapError, ViewError
+
+
+def row_checksum(row: object) -> str:
+    """Content digest of one artifact row (canonical-JSON ``blake2b``).
+
+    The same row always hashes to the same digest regardless of dict insertion
+    order, so primary and replica can compare copies without shipping rows.
+    Values outside the JSON types are stringified — a checksum must never fail
+    on a serveable row.
+    """
+    canonical = json.dumps(row, sort_keys=True, default=str, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def combine_checksums(checksums: dict[str, str]) -> str:
+    """One digest over a subject → row-checksum map (order-independent)."""
+    digest = hashlib.blake2b(digest_size=8)
+    for subject in sorted(checksums):
+        digest.update(subject.encode("utf-8"))
+        digest.update(checksums[subject].encode("utf-8"))
+    return digest.hexdigest()
+
+
+def rows_by_subject(
+    artifact: object, view_name: str, error: type[Exception] = ViewError
+) -> dict[str, dict]:
+    """Normalize a row-shaped artifact into a subject → row mapping.
+
+    The one definition of "row-shaped" every consumer shares — a sequence of
+    dicts with a ``subject`` key, or a mapping whose values are such dicts.
+    Anything else raises *error* (:class:`~repro.errors.ViewError` here;
+    the serving layer passes its own class so its callers keep catching
+    serving errors).
+    """
+    if isinstance(artifact, dict):
+        rows = list(artifact.values())
+    elif isinstance(artifact, (list, tuple)):
+        rows = list(artifact)
+    else:
+        raise error(
+            f"view artifact {view_name!r} is not row-shaped; cannot ship it"
+        )
+    by_subject: dict[str, dict] = {}
+    for row in rows:
+        if not isinstance(row, dict) or "subject" not in row:
+            raise error(
+                f"view artifact {view_name!r} rows need a 'subject' key to be shipped"
+            )
+        by_subject[str(row["subject"])] = row
+    return by_subject
 
 
 @dataclass(frozen=True)
@@ -1190,6 +1242,61 @@ class ViewManager:
                 raise JournalGapError(name, lsn, state.journal.floor_lsn)
             return merged
 
+    def view_rows_snapshot(self, name: str) -> tuple[int, int, dict[str, dict]]:
+        """Atomic ``(built_at_lsn, revision, subject → row copy)`` snapshot.
+
+        Taken under the view's state lock — the same lock maintenance
+        commits hold — so a concurrent flush can neither mutate the rows
+        mid-iteration nor leave the LSN and the rows from different
+        commits.  Rows are shallow-copied: auditors hash them after the
+        lock is released, and ``apply_delta`` builders may patch artifact
+        dicts in place.  Raises :class:`~repro.errors.ViewError` when the
+        artifact is not row-shaped or not materialized.
+        """
+        with self._state_lock(name):
+            rows = {
+                subject: dict(row)
+                for subject, row in rows_by_subject(self.artifact(name), name).items()
+            }
+            state = self.states[name]
+            return state.built_at_lsn, state.revision, rows
+
+    def view_checksums(self, name: str) -> dict[str, str]:
+        """Per-subject row checksums of a materialized row-shaped artifact.
+
+        The primary-side half of the anti-entropy contract: a replica holding
+        the same rows produces the same digests.  Raises
+        :class:`~repro.errors.ViewError` when the artifact is not row-shaped
+        (nothing to audit row-wise) or not materialized.
+        """
+        _, _, rows = self.view_rows_snapshot(name)
+        return {subject: row_checksum(row) for subject, row in rows.items()}
+
+    def view_digest(
+        self, name: str, snapshot: tuple[int, int, dict[str, dict]] | None = None
+    ) -> str:
+        """One content digest over the view's rows, recorded as a journal mark.
+
+        Combines the row checksums of one atomic snapshot (*snapshot* when a
+        caller — the anti-entropy auditor — already took one;
+        :meth:`view_rows_snapshot` otherwise) into a single digest and
+        mirrors it — stamped with the **snapshot's** LSN, never a re-read
+        one a concurrent flush could have moved — into the metadata store's
+        checksum namespace, so audits leave an observable trail next to the
+        watermark and journal marks.  This is the one definition of the
+        recorded digest; every writer of the checksum namespace goes through
+        it.
+        """
+        if snapshot is None:
+            snapshot = self.view_rows_snapshot(name)
+        lsn, _, rows = snapshot
+        digest = combine_checksums(
+            {subject: row_checksum(row) for subject, row in rows.items()}
+        )
+        if self.metadata is not None:
+            self.metadata.update_view_checksum(name, lsn, digest)
+        return digest
+
     def scope_snapshot(self, name: str) -> ScopeSnapshot | None:
         """The pre-delete scope snapshot tracked for *name* (read-only use)."""
         return self._scope_snapshots.get(name)
@@ -1302,6 +1409,7 @@ class ViewManager:
         if self.metadata is not None:
             self.metadata.clear_view_watermark(name)
             self.metadata.clear_view_journal_mark(name)
+            self.metadata.clear_view_checksum(name)
 
     def _artifacts(self) -> dict[str, object]:
         return {

@@ -83,11 +83,33 @@ class ServingError(SagaError):
 
 
 class StaleReadError(ServingError):
-    """Raised when no replica satisfies a read's consistency requirement."""
+    """Raised when no replica satisfies a read's consistency requirement.
+
+    ``lagging`` (when provided) names each live replica that was rejected for
+    staleness and how many log positions it lags the primary head — the honest
+    "who to wait for" answer distributed queries surface to their callers.
+    """
+
+    def __init__(self, message: str, lagging: dict[str, int] | None = None) -> None:
+        super().__init__(message)
+        self.lagging = dict(lagging) if lagging else {}
 
 
 class ReplicaUnavailableError(ServingError):
     """Raised when a routed read finds no live replica to serve it."""
+
+
+class ReplicaDivergenceError(ServingError):
+    """Raised when an anti-entropy audit finds replica/primary divergence.
+
+    Carries the audit report so operators can see exactly which replicas and
+    subjects diverged; only raised when the auditor is asked to fail loudly
+    instead of repairing.
+    """
+
+    def __init__(self, message: str, report: object = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class LiveGraphError(SagaError):

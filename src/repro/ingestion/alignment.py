@@ -16,7 +16,7 @@ linked to KG identifiers later, during knowledge construction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping
 
 from repro.errors import AlignmentError
 from repro.model.entity import SourceEntity

@@ -10,7 +10,7 @@ Updated, and Volatile partitions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.model.delta import SourceDelta, compute_delta
 from repro.model.entity import SourceEntity

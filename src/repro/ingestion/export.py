@@ -9,7 +9,7 @@ construction side never needs self-joins to recover one-hop facts).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.model.delta import SourceDelta
 from repro.model.entity import SourceEntity

@@ -17,7 +17,7 @@ import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Protocol
+from typing import Callable, Protocol
 
 from repro.errors import IngestionError
 

@@ -10,7 +10,7 @@ updating streaming entities, indexed for low-latency search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.datagen.streams import LiveEvent

@@ -10,7 +10,7 @@ away and also forwarded to stable KG construction so corrections persist.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Iterable
 

@@ -7,7 +7,7 @@ one object that examples, tests, and benchmarks drive.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.datagen.streams import LiveEvent
@@ -62,9 +62,11 @@ class LiveGraphEngine:
         self.curation = CurationPipeline()
         self._feed_revisions: dict[str, int] = {}        # feed -> view state revision
         self._router = None                              # optional replica read router
+        self._query_router = None                        # optional scatter-gather router
         self.view_feed_incremental_loads = 0             # journal-delta catch-ups
         self.view_feed_full_loads = 0                    # full artifact rewrites
         self.view_feed_journal_gaps = 0                  # gap-signalled resyncs
+        self.routed_queries = 0                          # KGQs executed fleet-side
 
     # -------------------------------------------------------------- #
     # construction
@@ -279,6 +281,36 @@ class LiveGraphEngine:
             return self._router.read(view_name, subject)
         return self._router.read(view_name, subject, consistency)
 
+    def attach_query_router(self, query_router) -> None:
+        """Route whole KGQ executions through a serving-fleet QueryRouter.
+
+        Once attached, :meth:`routed_query` scatter-gathers plan fragments
+        over the replica fleet instead of executing on this process's own
+        index — the local executor keeps serving non-routed queries.
+        """
+        self._query_router = query_router
+
+    def routed_query(
+        self, query: str | Query | CallQuery, view_name: str, consistency=None
+    ) -> QueryResult:
+        """Execute a KGQ over the replica fleet's copy of *view_name*.
+
+        *consistency* is a :class:`~repro.serving.router.Consistency` level
+        enforced per plan fragment (``None`` means "any live replica").
+        Raises :class:`~repro.errors.LiveGraphError` when no query router is
+        attached; routing errors (no live replica, staleness) propagate from
+        the router untranslated.
+        """
+        if self._query_router is None:
+            raise LiveGraphError(
+                "no query router attached; call "
+                "attach_query_router(fleet.query_router) first"
+            )
+        self.routed_queries += 1
+        if consistency is None:
+            return self._query_router.execute(query, view_name)
+        return self._query_router.execute(query, view_name, consistency)
+
     # -------------------------------------------------------------- #
     # querying
     # -------------------------------------------------------------- #
@@ -346,4 +378,5 @@ class LiveGraphEngine:
             "view_feed_full_loads": self.view_feed_full_loads,
             "view_feed_journal_gaps": self.view_feed_journal_gaps,
             "routed_reads": self._router.reads_routed if self._router else 0,
+            "routed_queries": self.routed_queries,
         }

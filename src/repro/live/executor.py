@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from repro.errors import KGQPlanError
 from repro.live.index import LiveEntityDocument, LiveIndex
@@ -77,6 +78,39 @@ class QueryCache:
         self._entries.clear()
 
 
+def merge_partial_results(
+    plan: PhysicalPlan, partials: Sequence[QueryResult]
+) -> QueryResult:
+    """Gather-side merge of fragment results into one query result.
+
+    Rows are unioned, deduplicated by entity id (first fragment wins — with
+    disjoint partitions duplicates never occur, but a fallback re-dispatch may
+    overlap), ordered by entity id to match the single-node executor's
+    deterministic candidate order, and truncated to the plan's LIMIT.  The
+    merged ``candidates_examined`` sums the fragments (total fleet work);
+    ``latency_ms`` sums fragment latencies (the router stamps wall-clock on
+    top), and ``from_cache`` is true only when every fragment was served from
+    its replica's cache.
+    """
+    by_entity: dict[str, QueryResultRow] = {}
+    examined = 0
+    latency = 0.0
+    for partial in partials:
+        examined += partial.candidates_examined
+        latency += partial.latency_ms
+        for row in partial.rows:
+            by_entity.setdefault(row.entity_id, row)
+    rows = [by_entity[entity_id] for entity_id in sorted(by_entity)]
+    if plan.limit is not None:
+        rows = rows[: plan.limit.limit]
+    return QueryResult(
+        rows=rows,
+        latency_ms=latency,
+        from_cache=bool(partials) and all(partial.from_cache for partial in partials),
+        candidates_examined=examined,
+    )
+
+
 class QueryExecutor:
     """Execute physical plans against the live index."""
 
@@ -88,9 +122,28 @@ class QueryExecutor:
     # -------------------------------------------------------------- #
     # execution
     # -------------------------------------------------------------- #
-    def execute(self, plan: PhysicalPlan, use_cache: bool = True) -> QueryResult:
-        """Run *plan* and return its result rows with timing."""
+    def execute(
+        self,
+        plan: PhysicalPlan,
+        use_cache: bool = True,
+        scope: Callable[[LiveEntityDocument], bool] | None = None,
+        scope_key: str = "",
+    ) -> QueryResult:
+        """Run *plan* and return its result rows with timing.
+
+        *scope* (when given) restricts execution to the documents it accepts,
+        applied right after seeding and before any condition work — this is
+        how a plan fragment confines a replica to its own partition of a view
+        feed.  ``candidates_examined`` counts in-scope candidates only, so the
+        figure shows the work this executor actually did.  *scope_key* must
+        uniquely identify the scope for result caching; scoped executions with
+        an empty key bypass the cache rather than poison it.
+        """
         cache_key = plan.query.render()
+        if scope is not None:
+            if not scope_key:
+                use_cache = False
+            cache_key = f"{cache_key} |{scope_key}"
         started = time.perf_counter()
         if use_cache:
             cached = self.cache.get(cache_key)
@@ -100,6 +153,8 @@ class QueryExecutor:
                 return QueryResult(rows=list(cached), latency_ms=latency, from_cache=True)
 
         candidates = self._seed_candidates(plan)
+        if scope is not None:
+            candidates = [document for document in candidates if scope(document)]
         examined = len(candidates)
         survivors = []
         for document in candidates:

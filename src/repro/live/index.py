@@ -10,6 +10,8 @@ model scale-out and failover in tests.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
@@ -226,6 +228,29 @@ def view_row_document(
         timestamp=version,
         is_live=False,
     )
+
+
+def document_checksum(document: LiveEntityDocument) -> str:
+    """Content digest of one serving document (anti-entropy comparison unit).
+
+    Covers the fields that determine what a reader sees — id, type, name,
+    facts, references — and deliberately excludes ``timestamp`` and
+    ``source_id``: the same row shipped in different batches (snapshot vs
+    delta, different LSNs) must still hash identically on every replica.
+    """
+    canonical = json.dumps(
+        [
+            document.entity_id,
+            document.entity_type,
+            document.name,
+            {k: document.facts[k] for k in sorted(document.facts)},
+            {k: document.references[k] for k in sorted(document.references)},
+        ],
+        sort_keys=True,
+        default=str,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
 
 
 class LiveIndex:

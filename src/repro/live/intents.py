@@ -11,8 +11,8 @@ the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.errors import IntentError
 from repro.live.index import LiveIndex

@@ -10,7 +10,7 @@ prioritizes candidates when the budget is tight.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ml.encoders import StringEncoder
 from repro.ml.nerd.entity_view import NERDEntityRecord, NERDEntityView

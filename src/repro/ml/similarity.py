@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Iterable, Sequence
+from typing import Iterable
 
 _TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
 

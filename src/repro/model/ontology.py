@@ -16,9 +16,9 @@ matching / fusion stages consult it for domain-specific behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from repro.errors import OntologyError
 

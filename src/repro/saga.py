@@ -159,6 +159,7 @@ class SagaPlatform:
             self._live.load_stable_view(self.graph_engine.triples)
             if self._fleet is not None:
                 self._live.attach_router(self._fleet.router)
+                self._live.attach_query_router(self._fleet.query_router)
         return self._live
 
     def ingest_live_events(self, events: Iterable[LiveEvent]) -> int:
@@ -179,6 +180,7 @@ class SagaPlatform:
         num_replicas: int = 3,
         journal_dir: str | None = None,
         queue_capacity: int = 256,
+        anti_entropy_interval: float | None = None,
     ) -> ServingFleet:
         """Start a replicated serving fleet over the Graph Engine's views.
 
@@ -187,7 +189,11 @@ class SagaPlatform:
         files under *journal_dir* when given, in memory otherwise), and
         routes reads with the same LSN currency the engine's metadata store
         uses.  The live engine (when instantiated) gains replica-backed
-        reads through :meth:`LiveGraphEngine.routed_view_read`.
+        point reads through :meth:`LiveGraphEngine.routed_view_read` and
+        scatter-gather KGQ execution through
+        :meth:`LiveGraphEngine.routed_query`.  With *anti_entropy_interval*
+        the fleet also runs periodic checksum audits (with repair) on a
+        background thread.
         """
         if self._fleet is not None:
             raise ServingError("a serving fleet is already running; stop it first")
@@ -203,15 +209,19 @@ class SagaPlatform:
         ).start()
         try:
             fleet.serve_views(views)
+            if anti_entropy_interval is not None:
+                fleet.start_anti_entropy(anti_entropy_interval)
         except Exception:
             # Atomic start: an unshippable view (unmaterialized, not
-            # row-shaped) must not leave replica threads and a journal
-            # listener behind — and must not block a corrected retry.
+            # row-shaped) or an invalid audit interval must not leave
+            # replica threads and a journal listener behind — and must not
+            # block a corrected retry.
             fleet.stop()
             raise
         self._fleet = fleet
         if self._live is not None:
             self._live.attach_router(self._fleet.router)
+            self._live.attach_query_router(self._fleet.query_router)
         return self._fleet
 
     def stop_serving_fleet(self) -> None:
@@ -222,6 +232,7 @@ class SagaPlatform:
         self._fleet.stop()
         if self._live is not None:
             self._live.attach_router(None)
+            self._live.attach_query_router(None)
         self._fleet = None
 
     # -------------------------------------------------------------- #

@@ -7,9 +7,14 @@ LSN-ranged batches (:class:`JournalShipper` over a :class:`ReplicationBus`)
 to live replicas (:class:`ReplicaNode`) that apply them asynchronously, and
 reads are routed across the replicas by consistent hashing under a
 selectable consistency level (:class:`ShardRouter`, :class:`Consistency`).
+Whole KGQs scatter-gather over the same partitions through the
+:class:`QueryRouter`, and the :class:`AntiEntropyAuditor` periodically
+checksums replica state against the primary, repairing lag by journal
+replay and divergence by targeted row re-shipment.
 :class:`ServingFleet` wires all of it over one view manager.
 """
 
+from repro.serving.anti_entropy import AntiEntropyAuditor, AuditReport, ReplicaAudit
 from repro.serving.fleet import ServingFleet
 from repro.serving.journal_store import (
     FileJournalBackend,
@@ -18,12 +23,15 @@ from repro.serving.journal_store import (
     JournalRecord,
     JournalStore,
 )
+from repro.serving.query_router import QueryRouter
 from repro.serving.replica import ReplicaNode
-from repro.serving.router import ANY, Consistency, ShardRouter
+from repro.serving.router import ANY, Consistency, ShardRouter, stable_hash
 from repro.serving.shipping import JournalShipper, ReplicationBus, ShipmentBatch
 
 __all__ = [
     "ANY",
+    "AntiEntropyAuditor",
+    "AuditReport",
     "Consistency",
     "FileJournalBackend",
     "InMemoryJournalBackend",
@@ -31,9 +39,12 @@ __all__ = [
     "JournalRecord",
     "JournalShipper",
     "JournalStore",
+    "QueryRouter",
+    "ReplicaAudit",
     "ReplicaNode",
     "ReplicationBus",
     "ServingFleet",
     "ShardRouter",
     "ShipmentBatch",
+    "stable_hash",
 ]

@@ -25,7 +25,10 @@ from typing import Callable, Sequence
 from repro.engine.metadata import MetadataStore
 from repro.engine.views import ViewManager
 from repro.errors import ServingError
+from repro.live.executor import QueryResult
+from repro.serving.anti_entropy import AntiEntropyAuditor, AuditReport
 from repro.serving.journal_store import JournalStore
+from repro.serving.query_router import QueryRouter
 from repro.serving.replica import ReplicaNode
 from repro.serving.router import ANY, Consistency, ShardRouter
 from repro.serving.shipping import JournalShipper, ReplicationBus
@@ -55,6 +58,8 @@ class ServingFleet:
         self.bus = ReplicationBus()
         self.shipper = JournalShipper(manager, self.bus, self.journal_store)
         self.router = ShardRouter(self.head_lsn_source, virtual_nodes=virtual_nodes)
+        self.query_router = QueryRouter(self.router)
+        self.auditor = AntiEntropyAuditor(self)
         self.replicas: dict[str, ReplicaNode] = {}
         for index in range(num_replicas):
             self.add_replica(
@@ -99,7 +104,8 @@ class ServingFleet:
         return self
 
     def stop(self) -> None:
-        """Stop shipping, then drain and stop every replica (clean shutdown)."""
+        """Stop shipping and auditing, then drain and stop every replica."""
+        self.auditor.stop()
         self.shipper.detach()
         for node in self.replicas.values():
             node.stop()
@@ -153,6 +159,28 @@ class ServingFleet:
         """Routed point read of one served row document."""
         return self.router.read(view_name, subject, consistency)
 
+    def query(
+        self, query, view_name: str, consistency: Consistency = ANY
+    ) -> QueryResult:
+        """Scatter-gather KGQ execution over the fleet's copy of a view.
+
+        Compiles once, fragments along the consistent-hash partitions,
+        executes replica-side, and merges — see
+        :class:`~repro.serving.query_router.QueryRouter`.
+        """
+        return self.query_router.execute(query, view_name, consistency)
+
+    def audit(
+        self, repair: bool = True, raise_on_divergence: bool = False
+    ) -> dict[str, AuditReport]:
+        """One synchronous anti-entropy pass over every shipped view."""
+        return self.auditor.audit(repair=repair,
+                                  raise_on_divergence=raise_on_divergence)
+
+    def start_anti_entropy(self, interval: float) -> AntiEntropyAuditor:
+        """Run checksum audits (with repair) every *interval* seconds."""
+        return self.auditor.start(interval)
+
     def drain(self, timeout: float = 10.0) -> bool:
         """Wait until every live replica applied everything it was offered."""
         return all(
@@ -205,6 +233,17 @@ class ServingFleet:
             "delivery_errors": len(self.bus.delivery_errors),
             "reads_routed": self.router.reads_routed,
             "fallback_reads": self.router.fallback_reads,
+            "query_router": self.query_router.stats(),
+            "anti_entropy": {
+                "audits_run": self.auditor.audits_run,
+                "audit_failures": self.auditor.audit_failures,
+                "last_audit_error": self.auditor.last_audit_error,
+                "divergences_detected": self.auditor.divergences_detected,
+                "rows_repaired": self.auditor.rows_repaired,
+                "catchup_resyncs": self.auditor.catchup_resyncs,
+                "stale_repairs_skipped": self.auditor.stale_repairs_skipped,
+                "running": self.auditor.running,
+            },
             "journal": self.journal_store.stats(),
         }
 

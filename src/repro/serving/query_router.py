@@ -1,0 +1,218 @@
+"""Scatter-gather KGQ execution over the replica fleet.
+
+The :class:`QueryRouter` turns the fleet from a point-read cache into a
+serving tier: a KGQ is compiled **once** (plans are cached by query text),
+split into :class:`~repro.live.planner.PlanFragment`\\ s along the
+:class:`~repro.serving.router.ShardRouter`'s consistent-hash partitions of
+the subject space, scattered to the replicas that own those partitions, and
+the partial results are gathered back through
+:func:`~repro.live.executor.merge_partial_results` (union, dedup by entity
+id, entity-ordered merge, LIMIT).
+
+Consistency is enforced **per fragment**: a replica only receives a fragment
+when its applied-LSN watermark for the queried view satisfies the requested
+:class:`~repro.serving.router.Consistency` level.  Replicas that fail the
+check are skipped and their partitions reassigned to the next eligible owner
+on the ring — exactly the fallback walk a point read performs — and when no
+live replica can legally serve some partition the router raises an honest
+:class:`~repro.errors.StaleReadError` that names each lagging replica and
+how far it lags, or :class:`~repro.errors.ReplicaUnavailableError` when no
+owner is alive at all.
+
+A replica that dies *between* partitioning and fragment execution is handled
+the same way: its fragment is re-dispatched to a surviving eligible replica
+(counted in ``fragment_retries``), so a crash mid-query degrades to a
+retried partition, never to a lost partial result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.errors import ReplicaUnavailableError, ServingError, StaleReadError
+from repro.live.executor import QueryResult, merge_partial_results
+from repro.live.kgq import CallQuery, Query, default_virtual_operators, parse
+from repro.live.planner import PhysicalPlan, PlanFragment, QueryPlanner, extract_fragments
+from repro.serving.router import ANY, Consistency, ShardRouter
+
+
+class QueryRouter:
+    """Compile-once, scatter-gather KGQ execution over routed replicas."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        planner: QueryPlanner | None = None,
+        plan_cache_size: int = 256,
+    ) -> None:
+        if plan_cache_size <= 0:
+            raise ServingError("the query router's plan cache needs capacity")
+        self.router = router
+        self.planner = planner or QueryPlanner(default_virtual_operators())
+        self.plan_cache_size = plan_cache_size
+        self._plans: OrderedDict[str, PhysicalPlan] = OrderedDict()
+        # Queries are served concurrently; the LRU's get/move/evict sequence
+        # must not interleave across threads (a racing eviction would turn a
+        # cache hit into a KeyError).
+        self._plans_lock = threading.Lock()
+        self.queries_routed = 0
+        self.fragments_dispatched = 0
+        self.fragment_retries = 0            # re-dispatches after a mid-query death
+        self.plan_cache_hits = 0
+        self.consistency_rejections = 0      # replicas skipped for staleness
+
+    # -------------------------------------------------------------- #
+    # compilation (once per query text)
+    # -------------------------------------------------------------- #
+    def compile(self, query: str | Query | CallQuery) -> PhysicalPlan:
+        """Compile *query* to a physical plan, caching by query text."""
+        if not isinstance(query, str):
+            return self.planner.plan(query)
+        with self._plans_lock:
+            plan = self._plans.get(query)
+            if plan is not None:
+                self._plans.move_to_end(query)
+                self.plan_cache_hits += 1
+                return plan
+        plan = self.planner.plan(parse(query))
+        with self._plans_lock:
+            self._plans[query] = plan
+            while len(self._plans) > self.plan_cache_size:
+                self._plans.popitem(last=False)
+        return plan
+
+    # -------------------------------------------------------------- #
+    # partitioning (per execution: membership and lag move constantly)
+    # -------------------------------------------------------------- #
+    def eligible_replicas(
+        self, view_name: str, consistency: Consistency
+    ) -> list[str]:
+        """Live replicas serving *view_name* that satisfy *consistency*.
+
+        Raises :class:`~repro.errors.ReplicaUnavailableError` when no live
+        replica serves the view at all, and :class:`~repro.errors.StaleReadError`
+        — naming each lagging replica and its lag in log positions — when
+        live servers exist but every one fails the consistency check.
+        """
+        if not self.router.replicas:
+            raise ReplicaUnavailableError(
+                "the query router has no replicas to scatter fragments to"
+            )
+        eligible: list[str] = []
+        lagging: dict[str, int] = {}
+        saw_live_server = False
+        for name, node in sorted(self.router.replicas.items()):
+            if not node.alive or not node.serves_view(view_name):
+                continue
+            saw_live_server = True
+            if self.router.satisfies(node, view_name, consistency):
+                eligible.append(name)
+            else:
+                self.consistency_rejections += 1
+                head = self.router.head_lsn_source()
+                lagging[name] = max(0, head - node.applied_lsn(view_name))
+        if eligible:
+            return eligible
+        if not saw_live_server:
+            raise ReplicaUnavailableError(
+                f"no live replica serves view {view_name!r}; cannot scatter the query"
+            )
+        worst = max(lagging, key=lambda name: lagging[name])
+        raise StaleReadError(
+            f"no replica satisfies {consistency.level} for view {view_name!r}: "
+            f"replica {worst!r} lags the head by {lagging[worst]} LSNs "
+            f"(lagging: {lagging}, head LSN {self.router.head_lsn_source()})",
+            lagging=lagging,
+        )
+
+    def partition_fragments(
+        self,
+        plan: PhysicalPlan,
+        view_name: str,
+        consistency: Consistency,
+        exclude: set[str] | None = None,
+    ) -> list[PlanFragment]:
+        """Fragment *plan* along the hash partitions of the eligible replicas."""
+        eligible = self.eligible_replicas(view_name, consistency)
+        if exclude:
+            eligible = [name for name in eligible if name not in exclude]
+            if not eligible:
+                raise ReplicaUnavailableError(
+                    f"every eligible replica for view {view_name!r} died mid-query"
+                )
+        partitions = self.router.hash_partitions(eligible)
+        return extract_fragments(plan, view_name, partitions)
+
+    # -------------------------------------------------------------- #
+    # execution
+    # -------------------------------------------------------------- #
+    def execute(
+        self,
+        query: str | Query | CallQuery,
+        view_name: str,
+        consistency: Consistency = ANY,
+        use_cache: bool = True,
+    ) -> QueryResult:
+        """Scatter *query* over the fleet's copy of *view_name* and gather.
+
+        Fragments execute on the replicas owning their partitions; a replica
+        dying between partitioning and execution re-partitions its share over
+        the survivors.  The merged result is ordered by entity id and carries
+        the fleet-wide ``candidates_examined`` total; ``latency_ms`` is the
+        wall-clock of the whole scatter-gather.
+        """
+        started = time.perf_counter()
+        plan = self.compile(query)
+        self.queries_routed += 1
+        dead: set[str] = set()
+        partials: list[QueryResult] = []
+        pending = self.partition_fragments(plan, view_name, consistency)
+        while pending:
+            fragment = pending.pop()
+            node = self.router.replicas.get(fragment.owner)
+            try:
+                if node is None:
+                    raise ReplicaUnavailableError(
+                        f"replica {fragment.owner!r} left the fleet mid-query"
+                    )
+                partials.append(node.execute_fragment(fragment, use_cache=use_cache))
+                self.fragments_dispatched += 1
+            except ReplicaUnavailableError:
+                # The owner died after partitioning: re-partition only this
+                # fragment's share of the hash space over the survivors.
+                dead.add(fragment.owner)
+                self.fragment_retries += 1
+                replacements = self.partition_fragments(
+                    plan, view_name, consistency, exclude=dead
+                )
+                pending.extend(
+                    replacement.intersect(fragment.ranges)
+                    for replacement in replacements
+                )
+                pending = [fragment for fragment in pending if fragment.ranges]
+        result = merge_partial_results(plan, partials)
+        result.latency_ms = (time.perf_counter() - started) * 1000.0
+        return result
+
+    def explain(self, query: str | Query | CallQuery, view_name: str) -> list[str]:
+        """EXPLAIN-style rendering: the shared plan plus current fragments."""
+        plan = self.compile(query)
+        steps = list(plan.explain())
+        for fragment in self.partition_fragments(plan, view_name, ANY):
+            steps.append(fragment.describe())
+        return steps
+
+    # -------------------------------------------------------------- #
+    # introspection
+    # -------------------------------------------------------------- #
+    def stats(self) -> dict[str, int]:
+        """Operational counters of the distributed query path."""
+        return {
+            "queries_routed": self.queries_routed,
+            "fragments_dispatched": self.fragments_dispatched,
+            "fragment_retries": self.fragment_retries,
+            "plan_cache_hits": self.plan_cache_hits,
+            "consistency_rejections": self.consistency_rejections,
+        }

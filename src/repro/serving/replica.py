@@ -21,6 +21,16 @@ store has applied (the checkpoint is written after every applied batch).  A
 *crash* (:meth:`kill`) loses the in-flight queue but not the applied state;
 :meth:`restart` reloads the checkpoint and catches up **from the persisted
 journal, starting at the last applied LSN** — no view artifact is rebuilt.
+
+Beyond point reads, every replica is a **query node**: it owns a
+:class:`~repro.live.planner.QueryPlanner` and
+:class:`~repro.live.executor.QueryExecutor` over its shard, executes plan
+fragments scoped to its partition of the subject hash space
+(:meth:`execute_fragment`, driven by the scatter-gather
+:class:`~repro.serving.query_router.QueryRouter`), answers whole KGQs
+locally (:meth:`query`), and audits its served rows against primary
+checksums (:meth:`checksum_divergence`, :meth:`apply_repair` — the
+anti-entropy hooks).
 """
 
 from __future__ import annotations
@@ -33,7 +43,11 @@ from typing import Callable
 
 from repro.engine.metadata import WatermarkMap
 from repro.errors import ReplicaUnavailableError, ServingError
-from repro.live.index import LiveIndex, view_row_document
+from repro.live.executor import QueryExecutor, QueryResult
+from repro.live.index import LiveIndex, document_checksum, view_row_document
+from repro.live.kgq import CallQuery, Query, default_virtual_operators, parse
+from repro.live.planner import PhysicalPlan, PlanFragment, QueryPlanner
+from repro.serving.router import stable_hash
 from repro.serving.shipping import ShipmentBatch
 
 #: Signature of the per-apply watermark callback: (replica, view, applied LSN).
@@ -59,6 +73,8 @@ class ReplicaNode:
             raise ServingError("replica queue capacity must be positive")
         self.name = name
         self.index = LiveIndex(num_shards)
+        self.planner = QueryPlanner(default_virtual_operators())
+        self.executor = QueryExecutor(self.index)
         self.applied = WatermarkMap()            # view -> applied LSN
         self.revisions: dict[str, int] = {}      # view -> state lineage served
         self.resync_source = resync_source
@@ -77,6 +93,9 @@ class ReplicaNode:
         self.gaps_detected = 0
         self.resyncs = 0
         self.snapshot_resyncs = 0
+        self.fragments_executed = 0
+        self.local_queries = 0
+        self.divergence_repairs = 0
         # Bounded: a stream of poison batches must not grow memory.
         self.apply_errors: deque[str] = deque(maxlen=256)
 
@@ -229,6 +248,151 @@ class ReplicaNode:
         """Point-read one served row document (None when not served here)."""
         return self.index.get(f"{view_name}:{subject}")
 
+    # -------------------------------------------------------------- #
+    # query surface (distributed KGQ execution)
+    # -------------------------------------------------------------- #
+    def execute_fragment(
+        self, fragment: PlanFragment, use_cache: bool = True
+    ) -> QueryResult:
+        """Execute one plan fragment over this node's copy of the view.
+
+        The fragment's plan runs through this node's own executor, scoped to
+        the view's feed documents whose subject hashes into the fragment's
+        partition ranges — the node examines only the slice of the view it
+        owns, which is what lets fleet query capacity scale with replica
+        count.  Runs under the apply lock so a fragment never observes a
+        half-applied batch.  Raises
+        :class:`~repro.errors.ReplicaUnavailableError` when the node is down.
+        """
+        if not self._alive:
+            raise ReplicaUnavailableError(
+                f"replica {self.name!r} is not running; cannot execute fragments"
+            )
+        feed = f"view:{fragment.view_name}"
+        prefix = f"{fragment.view_name}:"
+
+        def in_partition(document) -> bool:
+            if document.source_id != feed:
+                return False
+            # The subject hash is a pure function of the entity id; memoize
+            # it on the document (replaced wholesale on every apply) so the
+            # per-query cost is range checks, not O(N) blake2b digests.
+            subject_hash = document.__dict__.get("_subject_hash")
+            if subject_hash is None:
+                subject_hash = stable_hash(document.entity_id[len(prefix):])
+                document._subject_hash = subject_hash
+            return fragment.covers(subject_hash)
+
+        with self._apply_lock:
+            result = self.executor.execute(
+                fragment.plan,
+                use_cache=use_cache,
+                scope=in_partition,
+                scope_key=fragment.cache_key(),
+            )
+        self.fragments_executed += 1
+        return result
+
+    def query(
+        self, query: str | Query | CallQuery, view_name: str | None = None
+    ) -> QueryResult:
+        """Plan and execute a whole KGQ against this node's own index.
+
+        The local, un-fragmented query surface: useful for single-replica
+        deployments and for debugging what one node would answer on its own.
+        *view_name* (when given) restricts execution to that view's feed.
+        """
+        if not self._alive:
+            raise ReplicaUnavailableError(
+                f"replica {self.name!r} is not running; cannot serve queries"
+            )
+        plan: PhysicalPlan = self.planner.plan(
+            parse(query) if isinstance(query, str) else query
+        )
+        scope = None
+        scope_key = ""
+        if view_name is not None:
+            feed = f"view:{view_name}"
+
+            def scope(document, feed=feed):
+                return document.source_id == feed
+
+            scope_key = f"feed:{view_name}"
+        with self._apply_lock:
+            result = self.executor.execute(plan, scope=scope, scope_key=scope_key)
+        self.local_queries += 1
+        return result
+
+    # -------------------------------------------------------------- #
+    # anti-entropy hooks
+    # -------------------------------------------------------------- #
+    def checksum_divergence(
+        self,
+        view_name: str,
+        expected: dict[str, str],
+        at_lsn: int | None = None,
+        at_revision: int | None = None,
+    ) -> tuple[list[str], list[str], list[str]] | None:
+        """Compare served documents against primary checksums for one view.
+
+        *expected* maps each subject the primary serves to the
+        :func:`~repro.live.index.document_checksum` of the document its row
+        builds to.  Returns ``(missing, extra, mismatched)`` subject lists:
+        rows the primary has that this node lacks, rows this node serves that
+        the primary dropped, and rows whose content digests disagree.  Runs
+        under the apply lock so the audit never races a half-applied batch.
+        *at_lsn* / *at_revision* (when given) pin the comparison to the
+        state the checksums were audited at: if this node has applied a
+        batch since the caller's unlocked watermark check, the comparison
+        would misread fresh rows as divergence, so ``None`` is returned
+        instead — the caller treats it as "moved past the snapshot".
+        """
+        with self._apply_lock:
+            if at_lsn is not None and self.applied.of(view_name) != at_lsn:
+                return None
+            if at_revision is not None and self.revisions.get(view_name) != at_revision:
+                return None
+            served = self.index.feed_documents(f"view:{view_name}")
+            missing: list[str] = []
+            mismatched: list[str] = []
+            for subject, digest in expected.items():
+                document = self.index.get(f"{view_name}:{subject}")
+                if document is None:
+                    missing.append(subject)
+                elif document_checksum(document) != digest:
+                    mismatched.append(subject)
+            expected_ids = {f"{view_name}:{subject}" for subject in expected}
+            prefix_length = len(view_name) + 1
+            extra = sorted(
+                doc_id[prefix_length:] for doc_id in served - expected_ids
+            )
+        return sorted(missing), extra, sorted(mismatched)
+
+    def apply_repair(self, batch: ShipmentBatch) -> bool:
+        """Apply a targeted anti-entropy repair batch inline.
+
+        Repair batches carry the audited snapshot's rows for diverged
+        subjects (plus deletes for rows the primary no longer had) at the
+        LSN the audit compared against, so the normal duplicate-suppression
+        would drop them; ``force`` pushes them through the same delta-apply
+        machinery.  A repair is only valid against the exact state it was
+        audited at: when this node has already applied past the batch's LSN
+        (or onto another revision) — a flush landed between audit and
+        repair — the stale repair is refused (returns ``False``; the next
+        audit pass re-compares against the newer state) rather than
+        regressing fresher rows.  The check and the apply share the apply
+        lock, so a concurrent worker apply cannot slip between them.
+        """
+        with self._apply_lock:
+            if (
+                self.applied.of(batch.view_name) != batch.lsn
+                or self.revisions.get(batch.view_name) != batch.revision
+            ):
+                return False
+            self._apply(batch, resyncing=True, force=True)
+        self.divergence_repairs += 1
+        return True
+
     def status(self) -> dict[str, object]:
         """Health and progress snapshot for fleet introspection."""
         return {
@@ -241,6 +405,9 @@ class ReplicaNode:
             "gaps_detected": self.gaps_detected,
             "resyncs": self.resyncs,
             "snapshot_resyncs": self.snapshot_resyncs,
+            "fragments_executed": self.fragments_executed,
+            "local_queries": self.local_queries,
+            "divergence_repairs": self.divergence_repairs,
             "apply_errors": list(self.apply_errors),
         }
 
@@ -260,12 +427,15 @@ class ReplicaNode:
             finally:
                 self._queue.task_done()
 
-    def _apply(self, batch: ShipmentBatch, resyncing: bool = False) -> None:
+    def _apply(
+        self, batch: ShipmentBatch, resyncing: bool = False, force: bool = False
+    ) -> None:
         feed = f"view:{batch.view_name}"
         if batch.kind == "drop":
             self.index.drop_feed(feed)
             self.applied.pop(batch.view_name, None)
             self.revisions.pop(batch.view_name, None)
+            self.executor.invalidate_cache()
             self._checkpoint()
             return
         if batch.kind == "snapshot":
@@ -277,11 +447,16 @@ class ReplicaNode:
             # Snapshots may rewind across revisions: set, don't advance.
             self.applied[batch.view_name] = batch.lsn
             self.revisions[batch.view_name] = batch.revision
+            self.executor.invalidate_cache()
             self._commit(batch.view_name)
             return
         # delta batch
         applied = self.applied.of(batch.view_name)
-        if batch.lsn <= applied and self.revisions.get(batch.view_name) == batch.revision:
+        if (
+            not force
+            and batch.lsn <= applied
+            and self.revisions.get(batch.view_name) == batch.revision
+        ):
             self.batches_skipped += 1            # duplicate / already covered
             return
         if not resyncing and (
@@ -306,6 +481,8 @@ class ReplicaNode:
             f"{batch.view_name}:{s}" for s in sorted(delta.changed) if s not in rows
         )
         self.index.apply_feed_delta(feed, upserts, deleted_ids, batch.lsn)
+        if upserts or deleted_ids:
+            self.executor.invalidate_cache()
         self.applied.advance(batch.view_name, batch.lsn)
         self.revisions[batch.view_name] = batch.revision
         # Watermark-only (advance) batches skip the checkpoint write: a

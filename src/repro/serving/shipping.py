@@ -21,8 +21,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.engine.views import JournalEvent, ViewDelta, ViewManager
+from repro.engine.views import rows_by_subject as _rows_by_subject
 from repro.errors import JournalGapError, ServingError
 from repro.serving.journal_store import JournalStore
 
@@ -96,24 +98,12 @@ def rows_by_subject(artifact: object, view_name: str) -> dict[str, dict]:
 
     Accepts the two row shapes the platform produces: a sequence of dicts
     with a ``subject`` key (the live layer's contract) or a mapping whose
-    values are such dicts.  Anything else cannot be shipped.
+    values are such dicts.  Anything else cannot be shipped.  The shape
+    contract itself is defined once, in
+    :func:`repro.engine.views.rows_by_subject`; this wrapper only swaps the
+    error class so serving callers keep catching :class:`ServingError`.
     """
-    if isinstance(artifact, dict):
-        rows = list(artifact.values())
-    elif isinstance(artifact, (list, tuple)):
-        rows = list(artifact)
-    else:
-        raise ServingError(
-            f"view artifact {view_name!r} is not row-shaped; cannot ship it"
-        )
-    by_subject: dict[str, dict] = {}
-    for row in rows:
-        if not isinstance(row, dict) or "subject" not in row:
-            raise ServingError(
-                f"view artifact {view_name!r} rows need a 'subject' key to be shipped"
-            )
-        by_subject[str(row["subject"])] = row
-    return by_subject
+    return _rows_by_subject(artifact, view_name, error=ServingError)
 
 
 def rows_for_subjects(
@@ -221,6 +211,48 @@ class JournalShipper:
         self.bus.publish(batch)
         self.snapshots_shipped += 1
         return batch
+
+    def repair_batch(
+        self,
+        view_name: str,
+        subjects: Sequence[str],
+        prev_lsn: int,
+        snapshot: tuple[int, int, dict[str, dict]] | None = None,
+    ) -> ShipmentBatch:
+        """A targeted delta batch that re-ships only *subjects* from the primary.
+
+        The anti-entropy repair path: the batch carries the primary's rows
+        for the named subjects (a subject with no row is a delete — the
+        primary no longer serves it), so a diverged replica converges by
+        rewriting exactly the diverged rows instead of absorbing a full
+        snapshot.  *snapshot* is the ``(lsn, revision, rows)`` the audit was
+        taken against (:meth:`~repro.engine.views.ViewManager.view_rows_snapshot`
+        is taken when omitted): the batch is stamped with the **snapshot**
+        LSN, never the live head — a repair must not advance the replica's
+        watermark past delta batches it has not applied, or a flush landing
+        between audit and repair would be dropped as a duplicate and its
+        rows served stale under a satisfied consistency check.
+        """
+        if snapshot is None:
+            snapshot = self.manager.view_rows_snapshot(view_name)
+        lsn, revision, snapshot_rows = snapshot
+        ordered = sorted(set(subjects))
+        rows = {s: snapshot_rows[s] for s in ordered if s in snapshot_rows}
+        delta = ViewDelta(
+            updated=frozenset(rows),
+            deleted=frozenset(subject for subject in ordered if subject not in rows),
+            first_lsn=prev_lsn,
+            last_lsn=lsn,
+        )
+        return ShipmentBatch(
+            kind="delta",
+            view_name=view_name,
+            revision=revision,
+            lsn=lsn,
+            prev_lsn=prev_lsn,
+            delta=delta,
+            rows=tuple(dict(row) for row in rows.values()),
+        )
 
     def catchup_batch(self, view_name: str, applied_lsn: int, revision: int) -> ShipmentBatch:
         """The batch that brings a consumer at (*applied_lsn*, *revision*) current.

@@ -1,6 +1,5 @@
 """Tests for blocking and pair generation (repro.construction.blocking/pairs)."""
 
-import pytest
 
 from repro.construction.blocking import (
     Blocker,

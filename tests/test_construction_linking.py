@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.construction.linking import Linker, LinkingConfig, evaluate_linking
+from repro.construction.linking import Linker, evaluate_linking
 from repro.construction.records import LinkableRecord, records_by_type
 from repro.model.entity import KGEntity, SourceEntity
 from repro.model.identifiers import IdGenerator

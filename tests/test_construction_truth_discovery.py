@@ -1,6 +1,5 @@
 """Tests for truth discovery and source reliability estimation."""
 
-import pytest
 
 from repro.construction.truth_discovery import (
     Claim,

@@ -12,7 +12,6 @@ from repro.datagen import (
     evolve_source,
     generate_source,
     generate_world,
-    world_to_store,
 )
 from repro.datagen.names import make_typo, person_aliases, synonym_lexicon
 

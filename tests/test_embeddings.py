@@ -3,11 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.datagen import world_to_store
 from repro.engine.vector_db import VectorDB
 from repro.errors import EmbeddingError
 from repro.ml.embeddings import (
-    DistMult,
     EmbeddingConfig,
     EmbeddingTasks,
     InMemoryTrainer,

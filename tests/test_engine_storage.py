@@ -135,7 +135,7 @@ def test_coordinator_registers_each_agent_once():
 def test_failed_agent_stops_at_failure_but_others_progress():
     log, objects, metadata, coordinator = make_coordinator()
     flaky = coordinator.register(RecordingAgent("flaky", fail_on_lsn=2))
-    healthy = coordinator.register(RecordingAgent("healthy"))
+    coordinator.register(RecordingAgent("healthy"))
     for _ in range(3):
         log.append("ingest_delta")
     report = coordinator.replay()

@@ -10,7 +10,6 @@ from repro.ingestion.pipeline import IngestionHub, IngestionPipeline
 from repro.ingestion.transform import EntityTransformer
 from repro.model.delta import SourceDelta
 from repro.model.entity import SourceEntity
-from repro.model.ontology import default_ontology
 
 
 def artist(entity_id, name, popularity=0.5):

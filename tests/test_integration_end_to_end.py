@@ -1,6 +1,5 @@
 """End-to-end integration tests across construction, serving, ML, and live layers."""
 
-import pytest
 
 from repro import SagaPlatform
 from repro.datagen import LiveStreamGenerator, StreamConfig

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.datagen import LiveStreamGenerator
 from repro.errors import IntentError
 from repro.live import (
     CurationDecision,
@@ -130,7 +129,7 @@ def test_multi_turn_follow_up_uses_previous_intent(live_engine, world):
     assert artists
     first_artist = artists[0]
     second_artist = artists[1] if len(artists) > 1 else artists[0]
-    first = live_engine.answer_intent(Intent("SpouseOf", (first_artist.name,)))
+    live_engine.answer_intent(Intent("SpouseOf", (first_artist.name,)))
     follow_up = live_engine.answer_follow_up(f"How about {second_artist.name}?")
     assert follow_up.intent.name == "SpouseOf"
     assert follow_up.intent.arguments == (second_artist.name,)

@@ -1,0 +1,758 @@
+"""Distributed KGQ execution and anti-entropy audits over the replica fleet.
+
+The scatter-gather contract: a KGQ executed through the ``QueryRouter`` over
+N replicas returns results *identical* to primary-side execution of the same
+plan over the same view feed — property-tested over seeded operation
+sequences (adds, updates, retypes, deletes, flushes, replica kills and
+restarts).  Consistency levels are enforced per fragment with honest
+``StaleReadError``\\ s that name the lagging replicas; partitions cover the
+hash space exactly and agree with point-read routing; a replica dying
+mid-query re-dispatches only its share.
+
+The anti-entropy contract: injected divergence (corrupted rows, lost rows,
+ghost rows) is detected by the checksum audit down to the exact subjects and
+repaired by a targeted repair batch — never a primary-side rebuild, never a
+full snapshot — and a lagging live replica is repaired through the
+journal-replay catch-up path.  The seeded divergence soak
+(``test_anti_entropy_soak_detects_and_repairs_random_divergence``) is the
+suite the nightly workflow runs at 5x depth.
+
+Sequence counts follow ``--runs-seeded`` (see ``conftest.py``); the heavier
+fleet-backed properties are capped the same way the replicated invariant
+suite caps ``fleet_seed``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.metadata import MetadataStore
+from repro.engine.views import (
+    ViewCatalog,
+    ViewDefinition,
+    ViewDelta,
+    ViewManager,
+    combine_checksums,
+    row_checksum,
+)
+from repro.errors import (
+    LiveGraphError,
+    ReplicaDivergenceError,
+    ReplicaUnavailableError,
+    StaleReadError,
+    ViewError,
+)
+from repro.live.executor import QueryExecutor, QueryResult, QueryResultRow, merge_partial_results
+from repro.live.index import LiveIndex, document_checksum, view_row_document
+from repro.live.kgq import parse
+from repro.live.planner import PlanFragment, QueryPlanner, extract_fragments
+from repro.serving import (
+    Consistency,
+    InMemoryJournalBackend,
+    JournalStore,
+    ServingFleet,
+    stable_hash,
+)
+
+
+# The qr_seed / ae_seed fixtures are parametrized by the repo-level
+# conftest.py from --runs-seeded (with proportional caps: the scatter-gather
+# sequences spin up fleet worker threads, the divergence soak audits full
+# checksum maps per round).
+
+# ------------------------------------------------------------------ #
+# harness: a queryable row view over a mutable model store
+# ------------------------------------------------------------------ #
+TYPES = ("alpha", "beta")
+
+
+class QueryModel:
+    """Mutable entity store whose rows carry names, values, and types."""
+
+    def __init__(self):
+        self.entities: dict[str, dict] = {}
+
+    def row(self, eid: str) -> dict:
+        fields = self.entities[eid]
+        return {
+            "subject": eid,
+            "name": f"Entity {eid}",
+            "value": fields["value"],
+            "types": [fields["type"]],
+        }
+
+    def subjects(self):
+        return list(self.entities)
+
+
+def build_query_harness(model: QueryModel):
+    """One apply_delta-maintained row view over *model* plus its manager."""
+    catalog = ViewCatalog()
+
+    def create(context):
+        return {eid: model.row(eid) for eid in sorted(model.entities)}
+
+    def apply_delta(context, delta: ViewDelta):
+        artifact = dict(context.artifact("profile_rows"))
+        for eid in delta.changed:
+            artifact[eid] = model.row(eid)
+        for eid in delta.deleted:
+            artifact.pop(eid, None)
+        return artifact
+
+    catalog.register(ViewDefinition(
+        "profile_rows", "analytics", create=create, apply_delta=apply_delta,
+    ))
+    clock = {"lsn": 1}
+    manager = ViewManager(
+        catalog, engines={}, metadata=MetadataStore(),
+        lsn_source=lambda: clock["lsn"], entity_source=model.subjects,
+    )
+    return catalog, manager, clock
+
+
+def start_fleet(manager, num_replicas=3):
+    fleet = ServingFleet(
+        manager, num_replicas=num_replicas,
+        journal_store=JournalStore(InMemoryJournalBackend()),
+    ).start()
+    fleet.serve_view("profile_rows")
+    assert fleet.drain()
+    return fleet
+
+
+#: The query battery every equivalence check runs — index seeds, type scans,
+#: traversal filters, CONTAINS, comparisons, projections, and limits.
+QUERY_BATTERY = (
+    'MATCH alpha RETURN name, value',
+    'MATCH beta RETURN name, value',
+    'MATCH alpha WHERE value > 5 RETURN name, value',
+    'MATCH beta WHERE value < 50 RETURN value LIMIT 3',
+    'MATCH alpha WHERE name CONTAINS "1" RETURN *',
+    'MATCH alpha WHERE name = "Entity e01" RETURN value',
+    'MATCH beta WHERE value != 2 RETURN name LIMIT 4',
+)
+
+
+def primary_results(manager, queries=QUERY_BATTERY):
+    """Execute the battery primary-side over a fresh feed of the artifact."""
+    index = LiveIndex()
+    lsn = manager.built_at_lsn("profile_rows")
+    index.replace_feed(
+        "view:profile_rows",
+        (view_row_document("profile_rows", "view:profile_rows", row, lsn)
+         for row in manager.artifact("profile_rows").values()),
+        lsn,
+    )
+    executor = QueryExecutor(index)
+    planner = QueryPlanner()
+    results = {}
+    for text in queries:
+        result = executor.execute(planner.plan(parse(text)), use_cache=False)
+        results[text] = [(row.entity_id, row.values) for row in result.rows]
+    return results
+
+
+def assert_fleet_matches_primary(fleet, manager, consistency=None):
+    expected = primary_results(manager)
+    for text, rows in expected.items():
+        if consistency is None:
+            result = fleet.query(text, "profile_rows")
+        else:
+            result = fleet.query(text, "profile_rows", consistency)
+        got = [(row.entity_id, row.values) for row in result.rows]
+        assert got == rows, text
+
+
+def seed_model(model, rng, count=None):
+    n = count if count is not None else rng.randint(8, 20)
+    for i in range(n):
+        model.entities[f"e{i:02d}"] = {
+            "type": rng.choice(TYPES), "value": rng.randint(0, 99),
+        }
+    return n
+
+
+# ------------------------------------------------------------------ #
+# partitioning: fragments agree with point-read routing
+# ------------------------------------------------------------------ #
+def test_hash_partitions_cover_space_and_match_point_routing():
+    model = QueryModel()
+    rng = random.Random(7)
+    seed_model(model, rng, count=64)
+    _, manager, _ = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager, num_replicas=4)
+    try:
+        eligible = sorted(fleet.replicas)
+        partitions = fleet.router.hash_partitions(eligible)
+        assert set(partitions) == set(eligible)
+        for subject in model.entities:
+            h = stable_hash(subject)
+            owners = [
+                name for name, ranges in partitions.items()
+                if any(low < h <= high for low, high in ranges)
+            ]
+            # covered exactly once, by the replica a point read would pick
+            assert owners == fleet.router.owners(subject, 1), subject
+        # a shrunk eligible set reassigns, still covering every subject
+        survivors = eligible[:2]
+        partitions = fleet.router.hash_partitions(survivors)
+        for subject in model.entities:
+            h = stable_hash(subject)
+            assert sum(
+                any(low < h <= high for low, high in ranges)
+                for ranges in partitions.values()
+            ) == 1
+        assert fleet.router.hash_partitions([]) == {}
+    finally:
+        fleet.stop()
+
+
+def test_fragment_intersection_and_cache_keys():
+    plan = QueryPlanner().plan(parse("MATCH alpha RETURN name"))
+    fragment = PlanFragment(plan=plan, view_name="v", ranges=((0, 100), (200, 300)))
+    narrowed = fragment.intersect(((50, 250),))
+    assert narrowed.ranges == ((50, 100), (200, 250))
+    assert fragment.intersect(((400, 500),)).ranges == ()
+    assert fragment.covers(50) and not fragment.covers(150)
+    # per-partition cache keys differ, equal partitions share one
+    assert fragment.cache_key() != narrowed.cache_key()
+    twin = PlanFragment(plan=plan, view_name="v", ranges=fragment.ranges, owner="x")
+    assert twin.cache_key() == fragment.cache_key()
+    fragments = extract_fragments(plan, "v", {"a": [(0, 10)], "b": []})
+    assert [fragment.owner for fragment in fragments] == ["a"]
+
+
+def test_merge_partial_results_orders_dedups_and_limits():
+    plan = QueryPlanner().plan(parse("MATCH alpha RETURN name LIMIT 3"))
+    partials = [
+        QueryResult(rows=[QueryResultRow("v:c", {"name": "C"}),
+                          QueryResultRow("v:a", {"name": "A"})],
+                    candidates_examined=4),
+        QueryResult(rows=[QueryResultRow("v:b", {"name": "B"}),
+                          QueryResultRow("v:a", {"name": "A-dup"}),
+                          QueryResultRow("v:d", {"name": "D"})],
+                    candidates_examined=5),
+    ]
+    merged = merge_partial_results(plan, partials)
+    assert [row.entity_id for row in merged.rows] == ["v:a", "v:b", "v:c"]
+    assert merged.rows[0].values == {"name": "A"}        # first fragment wins
+    assert merged.candidates_examined == 9
+
+
+# ------------------------------------------------------------------ #
+# the core property: distributed execution ≡ primary execution
+# ------------------------------------------------------------------ #
+def test_distributed_query_matches_primary_over_seeded_sequences(qr_seed):
+    rng = random.Random(31000 + qr_seed)
+    model = QueryModel()
+    counter = seed_model(model, rng)
+    _, manager, clock = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    killed: list[str] = []
+
+    def enqueue(changed=(), deleted=(), added=()):
+        clock["lsn"] += 1
+        manager.enqueue(changed, lsn=clock["lsn"], deleted_entity_ids=deleted,
+                        added_entity_ids=added)
+
+    try:
+        for _ in range(rng.randint(10, 25)):
+            op = rng.choices(
+                ["add", "update", "retype", "delete", "flush", "kill", "restart"],
+                weights=[20, 20, 10, 12, 25, 6, 7],
+            )[0]
+            if op == "add":
+                counter += 1
+                eid = f"e{counter:02d}"
+                model.entities[eid] = {"type": rng.choice(TYPES),
+                                       "value": rng.randint(0, 99)}
+                enqueue([eid], added=[eid])
+            elif op == "update" and model.entities:
+                eid = rng.choice(sorted(model.entities))
+                model.entities[eid]["value"] += 100
+                enqueue([eid])
+            elif op == "retype" and model.entities:
+                eid = rng.choice(sorted(model.entities))
+                model.entities[eid]["type"] = rng.choice(TYPES)
+                enqueue([eid])
+            elif op == "delete" and model.entities:
+                eid = rng.choice(sorted(model.entities))
+                del model.entities[eid]
+                enqueue(deleted=[eid])
+            elif op == "flush":
+                manager.flush()
+                assert fleet.drain()
+                assert_fleet_matches_primary(fleet, manager)
+            elif op == "kill" and len(killed) < 2:      # keep one replica alive
+                name = rng.choice(sorted(set(fleet.replicas) - set(killed)))
+                fleet.kill_replica(name)
+                killed.append(name)
+            elif op == "restart" and killed:
+                fleet.restart_replica(killed.pop(rng.randrange(len(killed))))
+
+        manager.flush()
+        assert fleet.drain()
+        # equivalence holds with whatever subset of replicas is still alive...
+        assert_fleet_matches_primary(fleet, manager)
+        while killed:
+            fleet.restart_replica(killed.pop())
+        # ...and, once everyone is back, under read-your-writes at the
+        # primary watermark with the work spread over all three replicas
+        watermark = manager.built_at_lsn("profile_rows")
+        assert_fleet_matches_primary(
+            fleet, manager, Consistency.read_your_writes(watermark)
+        )
+        stats = fleet.query_router.stats()
+        assert stats["queries_routed"] > 0
+        assert stats["fragments_dispatched"] >= stats["queries_routed"]
+    finally:
+        fleet.stop()
+
+
+def test_consistency_enforcement_names_the_lagging_replica():
+    model = QueryModel()
+    seed_model(model, random.Random(3), count=10)
+    _, manager, clock = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    try:
+        watermark = manager.built_at_lsn("profile_rows")
+        result = fleet.query("MATCH alpha RETURN value", "profile_rows",
+                             Consistency.read_your_writes(watermark))
+        assert result.candidates_examined >= 0
+        # an unflushed write lags every replica: bounded_staleness(0) must
+        # refuse, naming each lagging replica and its lag
+        model.entities["e00"]["value"] = 777
+        clock["lsn"] += 1
+        manager.enqueue(["e00"], lsn=clock["lsn"])
+        with pytest.raises(StaleReadError) as excinfo:
+            fleet.query("MATCH alpha RETURN value", "profile_rows",
+                        Consistency.bounded_staleness(0))
+        assert set(excinfo.value.lagging) == set(fleet.replicas)
+        assert all(lag >= 1 for lag in excinfo.value.lagging.values())
+        assert any(name in str(excinfo.value) for name in fleet.replicas)
+        # a relaxed bound still serves; after the flush drains, zero lag does
+        assert fleet.query("MATCH alpha RETURN value", "profile_rows",
+                           Consistency.bounded_staleness(1)).rows is not None
+        manager.flush()
+        assert fleet.drain()
+        assert_fleet_matches_primary(fleet, manager, Consistency.bounded_staleness(0))
+    finally:
+        fleet.stop()
+
+
+def test_dead_fleet_and_unserved_view_raise_honestly():
+    model = QueryModel()
+    seed_model(model, random.Random(5), count=6)
+    _, manager, _ = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    try:
+        with pytest.raises(ReplicaUnavailableError):
+            fleet.query("MATCH alpha RETURN value", "never_served")
+        for name in list(fleet.replicas):
+            fleet.kill_replica(name)
+        with pytest.raises(ReplicaUnavailableError):
+            fleet.query("MATCH alpha RETURN value", "profile_rows")
+    finally:
+        fleet.stop()
+
+
+def test_replica_death_mid_query_redispatches_only_its_partition():
+    model = QueryModel()
+    seed_model(model, random.Random(11), count=40)
+    _, manager, _ = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    try:
+        victim = fleet.replicas["replica-1"]
+        original = victim.execute_fragment
+
+        def dying(fragment, use_cache=True):
+            fleet.kill_replica("replica-1")    # crash between scatter and apply
+            return original(fragment, use_cache=use_cache)
+
+        victim.execute_fragment = dying
+        result = fleet.query("MATCH alpha RETURN name, value", "profile_rows")
+        assert fleet.query_router.fragment_retries >= 1
+        expected = primary_results(manager, ("MATCH alpha RETURN name, value",))
+        got = [(row.entity_id, row.values) for row in result.rows]
+        assert got == expected["MATCH alpha RETURN name, value"]
+    finally:
+        fleet.stop()
+
+
+def test_query_plans_compile_once_per_text():
+    model = QueryModel()
+    seed_model(model, random.Random(13), count=6)
+    _, manager, _ = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    try:
+        calls = {"plans": 0}
+        original = fleet.query_router.planner.plan
+
+        def counting(query):
+            calls["plans"] += 1
+            return original(query)
+
+        fleet.query_router.planner.plan = counting
+        for _ in range(5):
+            fleet.query("MATCH alpha RETURN value", "profile_rows")
+        assert calls["plans"] == 1
+        assert fleet.query_router.plan_cache_hits == 4
+        # replica-side result caches serve repeats until an apply invalidates
+        assert any(node.executor.cache.hits for node in fleet.replicas.values())
+    finally:
+        fleet.stop()
+
+
+def test_replica_local_query_surface_matches_primary():
+    model = QueryModel()
+    seed_model(model, random.Random(17), count=12)
+    _, manager, _ = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager, num_replicas=1)
+    try:
+        node = fleet.replicas["replica-0"]
+        expected = primary_results(manager)
+        for text, rows in expected.items():
+            result = node.query(text, view_name="profile_rows")
+            assert [(row.entity_id, row.values) for row in result.rows] == rows
+        assert node.local_queries == len(expected)
+        node.kill()
+        with pytest.raises(ReplicaUnavailableError):
+            node.query("MATCH alpha RETURN value", view_name="profile_rows")
+    finally:
+        fleet.stop()
+
+
+def test_routed_query_through_the_live_engine():
+    model = QueryModel()
+    seed_model(model, random.Random(19), count=10)
+    _, manager, _ = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    live = LiveGraphEngineFixture()
+    try:
+        live.engine.attach_query_router(fleet.query_router)
+        result = live.engine.routed_query("MATCH alpha RETURN name, value",
+                                          "profile_rows")
+        expected = primary_results(manager, ("MATCH alpha RETURN name, value",))
+        got = [(row.entity_id, row.values) for row in result.rows]
+        assert got == expected["MATCH alpha RETURN name, value"]
+        assert live.engine.stats()["routed_queries"] == 1
+        live.engine.attach_query_router(None)
+        with pytest.raises(LiveGraphError):
+            live.engine.routed_query("MATCH alpha RETURN name", "profile_rows")
+    finally:
+        fleet.stop()
+
+
+class LiveGraphEngineFixture:
+    """A bare live engine (no resolution service) for router attachment."""
+
+    def __init__(self):
+        from repro.live.engine import LiveGraphEngine
+
+        self.engine = LiveGraphEngine()
+
+
+# ------------------------------------------------------------------ #
+# anti-entropy: checksum audits, divergence detection, targeted repair
+# ------------------------------------------------------------------ #
+def inject_divergence(node, view_name, rng, subjects):
+    """Corrupt one replica three ways; returns the subjects per failure mode."""
+    feed = f"view:{view_name}"
+    pool = [s for s in subjects if node.get(view_name, s) is not None]
+    rng.shuffle(pool)
+    corrupted = pool[0] if pool else None
+    lost = pool[1] if len(pool) > 1 else None
+    if corrupted is not None:
+        node.get(view_name, corrupted).facts["value"] = [987654]
+    if lost is not None:
+        node.index.delete(f"{view_name}:{lost}")
+    ghost = f"ghost{rng.randint(0, 99):02d}"
+    node.index.apply_feed_delta(
+        feed,
+        [view_row_document(view_name, feed,
+                           {"subject": ghost, "name": "Ghost", "value": -1},
+                           node.applied_lsn(view_name))],
+        [],
+        node.applied_lsn(view_name),
+    )
+    return corrupted, lost, ghost
+
+
+def test_audit_detects_exact_subjects_and_repair_converges():
+    model = QueryModel()
+    seed_model(model, random.Random(23), count=12)
+    _, manager, _ = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    try:
+        clean = fleet.audit(repair=False)
+        assert clean["profile_rows"].clean()
+        node = fleet.replicas["replica-2"]
+        corrupted, lost, ghost = inject_divergence(
+            node, "profile_rows", random.Random(1), sorted(model.entities)
+        )
+        report = fleet.auditor.audit_view("profile_rows")
+        audits = {audit.replica: audit for audit in report.replicas}
+        assert audits["replica-0"].status == "ok"
+        assert audits["replica-1"].status == "ok"
+        diverged = audits["replica-2"]
+        assert diverged.status == "diverged"
+        assert diverged.mismatched == (corrupted,)
+        assert diverged.missing == (lost,)
+        assert diverged.extra == (ghost,)
+        # raise_on_divergence pages instead of papering over
+        with pytest.raises(ReplicaDivergenceError) as excinfo:
+            fleet.audit(repair=False, raise_on_divergence=True)
+        assert "replica-2" in str(excinfo.value)
+        # targeted repair rewrites exactly the diverged rows
+        builds_before = manager.states["profile_rows"].builds
+        repaired = fleet.auditor.repair(report)
+        assert repaired == {"replica-2": 3}
+        assert fleet.audit(repair=False)["profile_rows"].clean()
+        assert node.divergence_repairs == 1
+        assert node.snapshot_resyncs == 0                     # never a snapshot
+        assert manager.states["profile_rows"].builds == builds_before
+        # the audited digest is on the metadata trail, and it is the same
+        # canonical row-level digest ViewManager.view_digest computes — the
+        # checksum namespace never flips between digest definitions
+        lsn, digest = manager.metadata.view_checksum("profile_rows")
+        assert lsn == manager.built_at_lsn("profile_rows")
+        assert digest == combine_checksums(manager.view_checksums("profile_rows"))
+        assert digest == manager.view_digest("profile_rows")
+        assert fleet.auditor.last_reports["profile_rows"].digest == digest
+        # distributed queries see the repaired rows, not the corruption
+        assert_fleet_matches_primary(fleet, manager)
+    finally:
+        fleet.stop()
+
+
+def test_repair_is_stamped_at_the_audited_snapshot_not_the_live_head():
+    """A flush landing between audit and repair must not be masked: the
+    repair batch carries the snapshot LSN, and a replica that already
+    applied past the snapshot refuses the stale repair outright."""
+    model = QueryModel()
+    seed_model(model, random.Random(43), count=8)
+    _, manager, clock = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    try:
+        node = fleet.replicas["replica-0"]
+        victim = sorted(model.entities)[0]
+        node.get("profile_rows", victim).facts["value"] = [31337]
+        report = fleet.auditor.audit_view("profile_rows")
+        assert {audit.replica for audit in report.diverged()} == {"replica-0"}
+        # a flush lands AFTER the audit and reaches every replica
+        other = sorted(model.entities)[1]
+        model.entities[other]["value"] = 4000
+        clock["lsn"] += 1
+        manager.enqueue([other], lsn=clock["lsn"])
+        manager.flush()
+        assert fleet.drain()
+        # the now-stale repair is refused, not force-applied over newer state
+        assert fleet.auditor.repair(report) == {}
+        assert fleet.auditor.stale_repairs_skipped == 1
+        assert node.divergence_repairs == 0
+        # the post-flush row was never regressed, and a fresh audit pass
+        # still sees (and now repairs) the original divergence
+        assert node.get("profile_rows", other).value("value") == 4000
+        fresh = fleet.auditor.audit_view("profile_rows")
+        assert {audit.replica for audit in fresh.diverged()} == {"replica-0"}
+        fleet.auditor.repair(fresh)
+        assert fleet.audit(repair=False)["profile_rows"].clean()
+        assert_fleet_matches_primary(fleet, manager)
+    finally:
+        fleet.stop()
+
+
+def test_stale_revision_replica_is_resynced_not_skipped():
+    """A replica stuck on an older state lineage at the same LSN (a missed
+    redefinition snapshot) is lagging — it must be resynced, never parked
+    as 'ahead' while serving old-definition rows forever."""
+    model = QueryModel()
+    seed_model(model, random.Random(47), count=8)
+    _, manager, _ = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    try:
+        node = fleet.replicas["replica-1"]
+        victim = sorted(model.entities)[0]
+        # simulate a missed redefinition: older revision, stale row content
+        node.revisions["profile_rows"] -= 1
+        node.get("profile_rows", victim).facts["value"] = [-1]
+        report = fleet.auditor.audit_view("profile_rows")
+        assert {audit.replica for audit in report.lagging()} == {"replica-1"}
+        fleet.auditor.repair(report)
+        # the revision mismatch makes catch-up answer a full snapshot
+        assert node.snapshot_resyncs == 1
+        assert fleet.audit(repair=False)["profile_rows"].clean()
+        assert_fleet_matches_primary(fleet, manager)
+    finally:
+        fleet.stop()
+
+
+def test_lagging_replica_repaired_through_journal_replay():
+    model = QueryModel()
+    seed_model(model, random.Random(29), count=8)
+    _, manager, clock = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    try:
+        # crash one replica, ship a delta it misses, then bring the process
+        # back WITHOUT the restart catch-up — a live-but-lagging replica
+        fleet.kill_replica("replica-1")
+        model.entities["e00"]["value"] = 555
+        clock["lsn"] += 1
+        manager.enqueue(["e00"], lsn=clock["lsn"])
+        manager.flush()
+        assert fleet.drain()
+        node = fleet.replicas["replica-1"]
+        node.start()
+        assert node.applied_lsn("profile_rows") < manager.built_at_lsn("profile_rows")
+        report = fleet.auditor.audit_view("profile_rows")
+        lagging = {audit.replica for audit in report.lagging()}
+        assert lagging == {"replica-1"}
+        fleet.auditor.repair(report)
+        assert fleet.auditor.catchup_resyncs == 1
+        assert node.snapshot_resyncs == 0                     # journal replay
+        assert node.applied_lsn("profile_rows") == manager.built_at_lsn("profile_rows")
+        assert fleet.audit(repair=False)["profile_rows"].clean()
+    finally:
+        fleet.stop()
+
+
+def test_periodic_auditor_repairs_in_background():
+    model = QueryModel()
+    seed_model(model, random.Random(37), count=8)
+    _, manager, _ = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    try:
+        node = fleet.replicas["replica-0"]
+        inject_divergence(node, "profile_rows", random.Random(2),
+                          sorted(model.entities))
+        fleet.start_anti_entropy(0.02)
+        assert fleet.auditor.running
+        deadline = 100
+        import time
+        while deadline and fleet.auditor.rows_repaired == 0:
+            time.sleep(0.02)
+            deadline -= 1
+        assert fleet.auditor.rows_repaired >= 1
+        assert fleet.audit(repair=False)["profile_rows"].clean()
+    finally:
+        fleet.stop()
+    assert not fleet.auditor.running
+
+
+def test_anti_entropy_soak_detects_and_repairs_random_divergence(ae_seed):
+    """Seeded soak: random mutations + random divergence injections every
+    round; the audit must detect exactly the injected replica, repair must
+    converge the fleet, and no repair may fall back to snapshots or force a
+    primary-side rebuild.  The nightly workflow runs this at 5x depth."""
+    rng = random.Random(67000 + ae_seed)
+    model = QueryModel()
+    counter = seed_model(model, rng)
+    _, manager, clock = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager)
+    builds_baseline = manager.states["profile_rows"].builds
+    try:
+        for _ in range(rng.randint(3, 6)):
+            # mutate and flush a little
+            for _ in range(rng.randint(1, 4)):
+                op = rng.choice(["add", "update", "delete"])
+                if op == "add":
+                    counter += 1
+                    eid = f"e{counter:02d}"
+                    model.entities[eid] = {"type": rng.choice(TYPES),
+                                           "value": rng.randint(0, 99)}
+                    clock["lsn"] += 1
+                    manager.enqueue([eid], lsn=clock["lsn"], added_entity_ids=[eid])
+                elif op == "update" and model.entities:
+                    eid = rng.choice(sorted(model.entities))
+                    model.entities[eid]["value"] += 7
+                    clock["lsn"] += 1
+                    manager.enqueue([eid], lsn=clock["lsn"])
+                elif op == "delete" and model.entities:
+                    eid = rng.choice(sorted(model.entities))
+                    del model.entities[eid]
+                    clock["lsn"] += 1
+                    manager.enqueue([], lsn=clock["lsn"], deleted_entity_ids=[eid])
+            manager.flush()
+            assert fleet.drain()
+            # inject divergence into one replica, audit, verify, repair
+            victim = rng.choice(sorted(fleet.replicas))
+            node = fleet.replicas[victim]
+            injected = inject_divergence(node, "profile_rows", rng,
+                                         sorted(model.entities))
+            report = fleet.auditor.audit_view("profile_rows")
+            flagged = {audit.replica for audit in report.diverged()}
+            assert victim in flagged
+            expected_subjects = {s for s in injected if s is not None}
+            found = {audit.replica: set(audit.diverged_subjects)
+                     for audit in report.diverged()}
+            assert found[victim] == expected_subjects
+            fleet.auditor.repair(report)
+            assert fleet.audit(repair=False)["profile_rows"].clean()
+            # convergence is real: distributed queries equal primary again
+            assert_fleet_matches_primary(fleet, manager)
+        assert manager.states["profile_rows"].builds == builds_baseline
+        assert all(node.snapshot_resyncs == 0 for node in fleet.replicas.values())
+        assert fleet.auditor.divergences_detected >= 3
+    finally:
+        fleet.stop()
+
+
+# ------------------------------------------------------------------ #
+# view row checksums (primary-side surface)
+# ------------------------------------------------------------------ #
+def test_view_checksums_row_shape_and_metadata_lifecycle():
+    model = QueryModel()
+    seed_model(model, random.Random(41), count=5)
+    catalog, manager, _ = build_query_harness(model)
+    manager.materialize()
+    checksums = manager.view_checksums("profile_rows")
+    assert set(checksums) == set(model.entities)
+    # order-independent and content-sensitive
+    some = sorted(model.entities)[0]
+    row = dict(manager.artifact("profile_rows")[some])
+    assert row_checksum(row) == checksums[some]
+    assert row_checksum(dict(reversed(list(row.items())))) == checksums[some]
+    row["value"] = object()                    # non-JSON values stringify
+    assert row_checksum(row) != checksums[some]
+    digest = manager.view_digest("profile_rows")
+    assert manager.metadata.view_checksum("profile_rows") == (
+        manager.built_at_lsn("profile_rows"), digest
+    )
+    # an older recomputation cannot overwrite a fresher digest
+    manager.metadata.update_view_checksum("profile_rows", 0, "stale")
+    assert manager.metadata.view_checksum("profile_rows")[1] == digest
+    # drop clears the digest with the watermarks
+    manager.drop("profile_rows")
+    assert manager.metadata.view_checksum("profile_rows") is None
+    # non-row-shaped artifacts refuse row checksums
+    catalog.register(ViewDefinition("scalar", "analytics", create=lambda ctx: 42))
+    manager.materialize(["scalar"])
+    with pytest.raises(ViewError):
+        manager.view_checksums("scalar")
+
+
+def test_document_checksum_ignores_version_but_not_content():
+    row = {"subject": "e1", "name": "One", "value": 5, "types": ["alpha"]}
+    a = view_row_document("v", "view:v", row, 10)
+    b = view_row_document("v", "view:v", dict(row), 99)     # different LSN stamp
+    assert document_checksum(a) == document_checksum(b)
+    changed = dict(row, value=6)
+    c = view_row_document("v", "view:v", changed, 10)
+    assert document_checksum(a) != document_checksum(c)

@@ -6,7 +6,6 @@ from repro import SagaPlatform
 from repro.datagen import evolve_source
 from repro.ingestion import AlignmentConfig, PGF, EntityTransformer
 from repro.ingestion.importers import InMemoryImporter
-from repro.live import Intent
 
 
 def test_platform_ingests_all_sources(constructed_platform, source_suite):

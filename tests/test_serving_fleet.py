@@ -32,7 +32,6 @@ from repro.serving import (
     ReplicationBus,
     ServingFleet,
     ShardRouter,
-    ShipmentBatch,
 )
 
 

@@ -42,17 +42,9 @@ from repro.model.triples import ExtendedTriple, TripleStore
 from repro.serving import Consistency, InMemoryJournalBackend, JournalStore, ServingFleet
 
 
-def pytest_generate_tests(metafunc):
-    runs = int(metafunc.config.getoption("--runs-seeded"))
-    if "op_seed" in metafunc.fixturenames:
-        metafunc.parametrize("op_seed", range(runs))
-    if "live_seed" in metafunc.fixturenames:
-        # The end-to-end live sequences are heavier; cap their count.
-        metafunc.parametrize("live_seed", range(min(runs, 60)))
-    if "fleet_seed" in metafunc.fixturenames:
-        # Replicated sequences spin up worker threads; cap their count.
-        metafunc.parametrize("fleet_seed", range(min(runs, 60)))
-
+# The op_seed / live_seed / fleet_seed fixtures are parametrized by the
+# repo-level conftest.py from --runs-seeded (with proportional caps on the
+# heavyweight suites).
 
 # ------------------------------------------------------------------ #
 # model harness
