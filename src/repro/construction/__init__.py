@@ -5,27 +5,38 @@ from repro.construction.blocking import (
     Block,
     Blocker,
     BlockingConfig,
+    BlockingStage,
 )
 from repro.construction.clustering import (
     ClusteringConfig,
+    ClusteringStage,
     CorrelationClustering,
     EntityCluster,
     LinkageGraph,
     build_linkage_graph,
     materialize_clusters,
 )
-from repro.construction.fusion import Fusion, FusionConfig, FusionReport
-from repro.construction.incremental import ConstructionReport, IncrementalConstructor
+from repro.construction.fusion import Fusion, FusionConfig, FusionReport, FusionStage
+from repro.construction.incremental import (
+    BlockPlan,
+    CommittedState,
+    ConstructionReport,
+    EntityDelta,
+    IncrementalConstructor,
+    PreparedDelta,
+)
 from repro.construction.linking import (
     Linker,
     LinkingConfig,
     LinkingResult,
+    TypeLinkPlan,
     evaluate_linking,
 )
 from repro.construction.matching import (
     FeatureSpec,
     LearnedMatcher,
     MatcherRegistry,
+    MatchingStage,
     RuleBasedMatcher,
     ScoredPair,
     default_features,
@@ -38,14 +49,26 @@ from repro.construction.object_resolution import (
     ObjectResolutionStats,
     Resolution,
     ResolutionContext,
+    ResolutionStage,
 )
-from repro.construction.pairs import CandidatePair, PairGenerationConfig, PairGenerator
+from repro.construction.pairs import (
+    CandidatePair,
+    PairGenerationConfig,
+    PairGenerationStage,
+    PairGenerator,
+)
 from repro.construction.pipeline import (
     GrowthHistory,
     GrowthPoint,
     KnowledgeConstructionPipeline,
 )
 from repro.construction.records import LinkableRecord, records_by_type
+from repro.construction.scheduler import (
+    BatchStats,
+    ParallelConstructionScheduler,
+    lpt_makespan,
+)
+from repro.construction.stages import ConstructionStage, StageContext, StagePipeline
 from repro.construction.truth_discovery import (
     Claim,
     TruthDiscovery,
@@ -55,19 +78,27 @@ from repro.construction.truth_discovery import (
 
 __all__ = [
     "BLOCKING_FUNCTIONS",
+    "BatchStats",
     "Block",
+    "BlockPlan",
     "Blocker",
     "BlockingConfig",
+    "BlockingStage",
     "CandidatePair",
     "Claim",
     "ClusteringConfig",
+    "ClusteringStage",
+    "CommittedState",
     "ConstructionReport",
+    "ConstructionStage",
     "CorrelationClustering",
     "EntityCluster",
+    "EntityDelta",
     "FeatureSpec",
     "Fusion",
     "FusionConfig",
     "FusionReport",
+    "FusionStage",
     "GrowthHistory",
     "GrowthPoint",
     "IncrementalConstructor",
@@ -79,22 +110,31 @@ __all__ = [
     "LinkingConfig",
     "LinkingResult",
     "MatcherRegistry",
+    "MatchingStage",
     "NameIndexResolver",
     "ObjectResolutionStage",
     "ObjectResolutionStats",
     "PairGenerationConfig",
+    "PairGenerationStage",
     "PairGenerator",
+    "ParallelConstructionScheduler",
+    "PreparedDelta",
     "Resolution",
     "ResolutionContext",
+    "ResolutionStage",
     "RuleBasedMatcher",
     "ScoredPair",
+    "StageContext",
+    "StagePipeline",
     "TruthDiscovery",
     "TruthDiscoveryConfig",
     "TruthDiscoveryResult",
+    "TypeLinkPlan",
     "build_linkage_graph",
     "default_features",
     "evaluate_linking",
     "feature_vector",
+    "lpt_makespan",
     "materialize_clusters",
     "records_by_type",
     "score_pairs",

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.construction.matching import ScoredPair
 from repro.construction.records import LinkableRecord
+from repro.construction.stages import StageContext
 
 
 @dataclass
@@ -189,6 +190,34 @@ class EntityCluster:
     def source_records(self) -> list[LinkableRecord]:
         """The non-KG members of the cluster."""
         return [record for record in self.members if not record.is_kg]
+
+
+@dataclass
+class ClusteringStage:
+    """Stage 4 of the construction pipeline: scored pairs → entity clusters.
+
+    Thresholds the scored pairs into a signed linkage graph (isolated records
+    included so unmatched payloads still become singleton clusters), runs the
+    seeded pivot clustering, and materializes :class:`EntityCluster` objects.
+    Identifier assignment for clusters without a KG record is deliberately
+    *not* done here — it happens at the fusion barrier in deterministic commit
+    order, which is what keeps parallel construction byte-identical to
+    sequential.
+    """
+
+    config: ClusteringConfig
+    name: str = "clustering"
+
+    def run(self, context: StageContext) -> StageContext:
+        """Cluster the context's scored pairs into co-referent groups."""
+        graph = build_linkage_graph(
+            context.scored or [],
+            self.config,
+            extra_records=context.combined_records(),
+        )
+        clustering = CorrelationClustering(self.config)
+        context.clusters = materialize_clusters(clustering.cluster(graph), graph)
+        return context
 
 
 def materialize_clusters(

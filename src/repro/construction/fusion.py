@@ -22,7 +22,9 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.construction.stages import StageContext
 from repro.construction.truth_discovery import Claim, TruthDiscovery, TruthDiscoveryResult
+from repro.errors import FusionError
 from repro.model.entity import SAME_AS_PREDICATE, RelationshipNode
 from repro.model.ontology import Ontology
 from repro.model.provenance import Provenance
@@ -302,3 +304,41 @@ class Fusion:
     def _score_conflicts(self, store: TripleStore, subjects: set[str]) -> int:
         result = self.resolve_functional_conflicts(store, subjects)
         return len({item for (item, _), _ in result.value_confidence.items()})
+
+
+@dataclass
+class FusionStage:
+    """Stage 6 of the construction pipeline: the synchronization barrier.
+
+    Fusion is the only stage that mutates the shared triple store, so it is
+    the single serialized point of the otherwise-parallel pipeline (Section
+    2.4, Figure 5).  The context's ``fusion_kind`` selects the partition path:
+    ``"added"`` (outer-join fusion of newly linked payloads), ``"updated"``
+    (retract-then-reassert), ``"deleted"`` (source retraction), or
+    ``"volatile"`` (partition overwrite).  The resulting
+    :class:`FusionReport` lands in ``context.fusion_report``.
+    """
+
+    fusion: Fusion
+    name: str = "fusion"
+
+    def run(self, context: StageContext) -> StageContext:
+        """Fuse the context's resolved triples into the store."""
+        store = context.store
+        if store is None:
+            raise FusionError("FusionStage needs context.store to be set")
+        triples = context.triples_by_subject or {}
+        if context.fusion_kind == "added":
+            report = self.fusion.fuse_added(store, triples, same_as=context.same_as)
+        elif context.fusion_kind == "updated":
+            report = self.fusion.fuse_updated(
+                store, context.source_id, triples, context.same_as
+            )
+        elif context.fusion_kind == "deleted":
+            report = self.fusion.fuse_deleted(store, context.source_id, context.subjects)
+        elif context.fusion_kind == "volatile":
+            report = self.fusion.fuse_volatile(store, context.source_id, triples)
+        else:
+            raise FusionError(f"unknown fusion kind {context.fusion_kind!r}")
+        context.fusion_report = report
+        return context

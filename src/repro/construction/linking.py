@@ -15,24 +15,23 @@ types:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import Iterable, Sequence
 
-from repro.construction.blocking import Blocker, BlockingConfig
+from repro.construction.blocking import Blocker, BlockingConfig, BlockingStage
 from repro.construction.clustering import (
     ClusteringConfig,
-    CorrelationClustering,
+    ClusteringStage,
     EntityCluster,
-    build_linkage_graph,
-    materialize_clusters,
 )
 from repro.construction.matching import (
     MatcherRegistry,
+    MatchingStage,
     RuleBasedMatcher,
     default_features,
-    score_pairs,
 )
-from repro.construction.pairs import PairGenerationConfig, PairGenerator
+from repro.construction.pairs import PairGenerationConfig, PairGenerationStage, PairGenerator
 from repro.construction.records import LinkableRecord, records_by_type
+from repro.construction.stages import StageContext, StagePipeline
 from repro.model.entity import KGEntity, SourceEntity
 from repro.model.identifiers import IdGenerator
 from repro.model.ontology import Ontology
@@ -45,6 +44,24 @@ class LinkingConfig:
     blocking: BlockingConfig = field(default_factory=BlockingConfig)
     pair_generation: PairGenerationConfig = field(default_factory=PairGenerationConfig)
     clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
+
+
+@dataclass
+class TypeLinkPlan:
+    """The deferred linking outcome of one entity type's pre-fusion stages.
+
+    A plan carries the correlation clusters of one per-type pipeline run —
+    *without* KG identifiers assigned to clusters lacking a KG record.
+    Identifier assignment is deferred to :meth:`Linker.assign`, which runs on
+    the serialized side of the fusion barrier so parallel preparation mints
+    exactly the identifiers (in exactly the order) a sequential run would.
+    """
+
+    entity_type: str
+    clusters: list[EntityCluster] = field(default_factory=list)
+    candidate_pair_count: int = 0
+    scored_pair_count: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -104,7 +121,15 @@ class Linker:
         # check would reject person/music_artist pairs.
         pair_config = replace(self.config.pair_generation, require_compatible_types=False)
         self._pair_generator = PairGenerator(pair_config)
-        self._clustering = CorrelationClustering(self.config.clustering)
+        # The pre-fusion stage chain every per-type run flows through.  All
+        # four stages are pure with respect to shared state, which is what
+        # lets plan() run concurrently across partitions.
+        self.stages = StagePipeline((
+            BlockingStage(self._blocker),
+            PairGenerationStage(self._pair_generator),
+            MatchingStage(self.matchers),
+            ClusteringStage(self.config.clustering),
+        ))
 
     def link(
         self,
@@ -115,22 +140,88 @@ class Linker:
 
         The payload is processed per entity type, mirroring the per-type
         pipelines (artist, song, album, ...) described in the paper.
+        Equivalent to :meth:`plan` followed by :meth:`assign`.
+        """
+        return self.assign(self.plan(source_entities, kg_view))
+
+    def plan(
+        self,
+        source_entities: Sequence[SourceEntity],
+        kg_view: Sequence[KGEntity] = (),
+    ) -> list[TypeLinkPlan]:
+        """Run the pre-fusion stages (blocking → clustering) for a payload.
+
+        Returns one :class:`TypeLinkPlan` per entity type present in the
+        payload, in sorted type order (the order :meth:`assign` must consume
+        them in).  Planning reads the KG view but mutates nothing and mints no
+        identifiers, so independent payload partitions may be planned
+        concurrently.
         """
         source_records = [LinkableRecord.from_source_entity(e) for e in source_entities]
         kg_records = [LinkableRecord.from_kg_entity(e) for e in kg_view]
-        result = LinkingResult()
         source_by_type = records_by_type(source_records)
         kg_by_type = records_by_type(kg_records)
+        return [
+            self.plan_type(entity_type, records, self.relevant_kg_records(entity_type, kg_by_type))
+            for entity_type, records in sorted(source_by_type.items())
+        ]
 
-        for entity_type, records in sorted(source_by_type.items()):
-            relevant_kg = self._kg_records_for_type(entity_type, kg_by_type)
-            result = result.merge(self._link_one_type(records, relevant_kg))
+    def plan_type(
+        self,
+        entity_type: str,
+        source_records: list[LinkableRecord],
+        kg_records: list[LinkableRecord],
+    ) -> TypeLinkPlan:
+        """Run one entity type's pre-fusion stage chain into a plan."""
+        context = StageContext(
+            entity_type=entity_type,
+            source_records=source_records,
+            kg_records=kg_records,
+        )
+        self.stages.run(context)
+        return TypeLinkPlan(
+            entity_type=entity_type,
+            clusters=context.clusters or [],
+            candidate_pair_count=len(context.pairs or []),
+            scored_pair_count=len(context.scored or []),
+            stage_seconds=dict(context.stage_seconds),
+        )
+
+    def assign(self, plans: Iterable[TypeLinkPlan]) -> LinkingResult:
+        """Assign KG identifiers to planned clusters (the serialized half).
+
+        Every cluster containing source records is resolved to its KG record's
+        identifier, or — when the cluster has none — to a freshly minted one.
+        Minting follows plan order (sorted entity type, then cluster order),
+        which is byte-identical to the sequential :meth:`link` path; callers
+        running plans from parallel preparation must therefore feed them back
+        in sorted type order.
+        """
+        result = LinkingResult()
+        for plan in plans:
+            partial = LinkingResult(
+                clusters=list(plan.clusters),
+                scored_pair_count=plan.scored_pair_count,
+                candidate_pair_count=plan.candidate_pair_count,
+            )
+            for cluster in plan.clusters:
+                source_members = cluster.source_records
+                if not source_members:
+                    continue
+                if cluster.kg_record is not None:
+                    kg_id = cluster.kg_record.record_id
+                else:
+                    kg_id = self.id_generator.next_id()
+                    partial.new_entities.add(kg_id)
+                for record in source_members:
+                    partial.assignments[record.record_id] = kg_id
+            result = result.merge(partial)
         return result
 
     # -------------------------------------------------------------- #
     # internals
     # -------------------------------------------------------------- #
-    def _kg_records_for_type(
+    def relevant_kg_records(
         self, entity_type: str, kg_by_type: dict[str, list[LinkableRecord]]
     ) -> list[LinkableRecord]:
         if not entity_type:
@@ -146,35 +237,6 @@ class Linker:
                 if self.ontology.compatible_types(kg_type, entity_type):
                     relevant.extend(records)
         return relevant
-
-    def _link_one_type(
-        self, source_records: list[LinkableRecord], kg_records: list[LinkableRecord]
-    ) -> LinkingResult:
-        combined: list[LinkableRecord] = [*source_records, *kg_records]
-        blocks = self._blocker.block(combined)
-        pairs = self._pair_generator.generate(blocks)
-        scored = score_pairs(pairs, self.matchers)
-        graph = build_linkage_graph(scored, self.config.clustering, extra_records=combined)
-        clusters = materialize_clusters(self._clustering.cluster(graph), graph)
-
-        result = LinkingResult(
-            scored_pair_count=len(scored),
-            candidate_pair_count=len(pairs),
-            clusters=clusters,
-        )
-        for cluster in clusters:
-            source_members = cluster.source_records
-            if not source_members:
-                continue
-            if cluster.kg_record is not None:
-                kg_id = cluster.kg_record.record_id
-            else:
-                kg_id = self.id_generator.next_id()
-                result.new_entities.add(kg_id)
-            for record in source_members:
-                result.assignments[record.record_id] = kg_id
-        return result
-
 
 def evaluate_linking(
     result: LinkingResult,

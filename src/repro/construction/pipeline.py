@@ -2,10 +2,15 @@
 
 :class:`KnowledgeConstructionPipeline` coordinates ingestion results from
 many sources into a single KG.  Per the paper, source-specific processing is
-embarrassingly parallel and fusion is the synchronization point: here the
-per-source work is executed sequentially but kept independent, and the
-pipeline records growth history (facts / entities over time) which is the
-measurement behind Figure 12.
+embarrassingly parallel and fusion is the synchronization point: batch
+consumption runs the pre-fusion stages of every source/entity-type partition
+concurrently through the :class:`~repro.construction.scheduler.
+ParallelConstructionScheduler` and serializes only the fusion commits, whose
+deterministic order makes parallel output byte-identical to sequential.  The
+pipeline records growth history (facts / entities over time), the measurement
+behind Figure 12 — growth points are stamped with a logical clock at
+*fusion-commit* time, so the series is reproducible run-to-run regardless of
+how the pre-fusion work was scheduled.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import Iterable
 
 from repro.construction.incremental import ConstructionReport, IncrementalConstructor
 from repro.construction.matching import MatcherRegistry
+from repro.construction.scheduler import ParallelConstructionScheduler
 from repro.ingestion.pipeline import IngestionResult
 from repro.model.delta import SourceDelta
 from repro.model.ontology import Ontology
@@ -72,7 +78,13 @@ class GrowthHistory:
 
 
 class KnowledgeConstructionPipeline:
-    """End-to-end construction over ingestion results from many sources."""
+    """End-to-end construction over ingestion results from many sources.
+
+    ``max_workers`` bounds the worker pool the scheduler prepares partitions
+    on during :meth:`consume_many` (``None`` prepares inline — the staged
+    pipeline still runs, just without concurrency); ``executor`` selects the
+    pool flavor (``"thread"`` or ``"serial"``, see the scheduler).
+    """
 
     def __init__(
         self,
@@ -80,12 +92,17 @@ class KnowledgeConstructionPipeline:
         store: TripleStore | None = None,
         matchers: MatcherRegistry | None = None,
         constructor: IncrementalConstructor | None = None,
+        max_workers: int | None = None,
+        executor: str = "thread",
     ) -> None:
         self.ontology = ontology
         if constructor is not None:
             self.constructor = constructor
         else:
             self.constructor = IncrementalConstructor(ontology, store=store, matchers=matchers)
+        self.scheduler = ParallelConstructionScheduler(
+            self.constructor, max_workers=max_workers, executor=executor
+        )
         self.growth = GrowthHistory()
         self.reports: list[ConstructionReport] = []
         self._clock = 0
@@ -104,11 +121,9 @@ class KnowledgeConstructionPipeline:
     # consumption APIs
     # -------------------------------------------------------------- #
     def consume_delta(self, delta: SourceDelta) -> ConstructionReport:
-        """Consume one source delta and record KG growth."""
-        self._clock += 1
+        """Consume one source delta and record KG growth at its commit."""
         report = self.constructor.consume(delta)
-        self.reports.append(report)
-        self.growth.record(self._clock, delta.source_id, self.store)
+        self._record_commit(report)
         return report
 
     def consume_ingestion_result(self, result: IngestionResult) -> ConstructionReport:
@@ -116,20 +131,44 @@ class KnowledgeConstructionPipeline:
         return self.consume_delta(result.delta)
 
     def consume_many(
-        self, payloads: Iterable[SourceDelta | IngestionResult]
+        self,
+        payloads: Iterable[SourceDelta | IngestionResult],
+        max_workers: int | None = None,
     ) -> list[ConstructionReport]:
-        """Consume a batch of payloads, one source at a time.
+        """Consume a batch of payloads through the staged parallel pipeline.
 
-        Sources are fused sequentially because fusion is the synchronization
-        point across the otherwise-parallel source pipelines (Section 2.4).
+        Pre-fusion stages of every source/entity-type partition run
+        concurrently (bounded by *max_workers*, defaulting to the pipeline's
+        configuration); sources are fused sequentially in payload order
+        because fusion is the synchronization point across the
+        otherwise-parallel source pipelines (Section 2.4).  The result is
+        byte-identical to consuming the payloads one at a time.
+
+        A failing payload no longer aborts the batch: the remaining sources
+        keep fusing, the failed payload's report carries its ``error``, and a
+        :class:`~repro.errors.ConstructionBatchError` with every report is
+        raised after the batch finished.
         """
-        reports = []
-        for payload in payloads:
-            if isinstance(payload, IngestionResult):
-                reports.append(self.consume_ingestion_result(payload))
-            else:
-                reports.append(self.consume_delta(payload))
-        return reports
+        deltas = [
+            payload.delta if isinstance(payload, IngestionResult) else payload
+            for payload in payloads
+        ]
+        return self.scheduler.consume_many(
+            deltas, on_commit=self._record_commit, max_workers=max_workers
+        )
+
+    def _record_commit(self, report: ConstructionReport) -> None:
+        """Stamp one fusion commit on the growth clock (deterministic order).
+
+        Called inside the fusion barrier, immediately after each commit —
+        never at consumption start — so the Figure 12 series depends only on
+        commit order, which parallel scheduling keeps identical to sequential.
+        Failed payloads never reach this hook and consume no clock tick.
+        """
+        self._clock += 1
+        report.commit_clock = self._clock
+        self.reports.append(report)
+        self.growth.record(self._clock, report.source_id, self.store)
 
     # -------------------------------------------------------------- #
     # stats

@@ -203,24 +203,49 @@ class AgentCoordinator:
     def _classify(self, record: LogRecord, payload: object) -> ProgressDelta:
         """Split one delivered record into added / updated / deleted subjects.
 
-        Classification is stateful against the subjects delivered so far, so
-        it must run exactly once per record even when no delta listener is
-        registered yet.  After a ``full_refresh`` the live-subject set may
-        retain subjects a ``remove_source`` actually dropped; a later re-add
-        then classifies as *updated* — harmless for journal consumers, which
-        treat added and updated rows identically.
+        Producers that already classified their change (knowledge construction
+        embeds the commit's :class:`~repro.construction.incremental.
+        EntityDelta` as the payload's ``classified`` section) are passed
+        through verbatim — no store re-diffing happens on this path, the
+        classification computed at fusion-commit time flows unchanged into the
+        view delta journals.  Unclassified payloads fall back to
+        :meth:`_classify_by_diff`.  Either way the live-subject set is kept
+        consistent, since a later unclassified operation may need it.
         """
         if record.operation == "ingest_delta" and isinstance(payload, dict):
-            subjects = [str(s) for s in payload.get("subjects", [])]
-            deleted = [str(s) for s in payload.get("deleted", [])]
-            added = tuple(s for s in subjects if s not in self._live_subjects)
-            updated = tuple(s for s in subjects if s in self._live_subjects)
-            self._live_subjects.update(subjects)
-            self._live_subjects.difference_update(deleted)
-            return ProgressDelta(
-                lsn=record.lsn, added=added, updated=updated, deleted=tuple(deleted)
-            )
+            classified = payload.get("classified")
+            if isinstance(classified, dict):
+                added = tuple(str(s) for s in classified.get("added", ()))
+                updated = tuple(str(s) for s in classified.get("updated", ()))
+                deleted = tuple(str(s) for s in classified.get("deleted", ()))
+                self._live_subjects.update(added)
+                self._live_subjects.update(updated)
+                self._live_subjects.difference_update(deleted)
+                return ProgressDelta(
+                    lsn=record.lsn, added=added, updated=updated, deleted=deleted
+                )
+            return self._classify_by_diff(record, payload)
         return ProgressDelta(lsn=record.lsn, full_refresh=True)
+
+    def _classify_by_diff(self, record: LogRecord, payload: dict) -> ProgressDelta:
+        """Diff-based fallback classification for unclassified payloads.
+
+        Stateful against the subjects delivered so far, so it must run exactly
+        once per record even when no delta listener is registered yet.  After
+        a ``full_refresh`` the live-subject set may retain subjects a
+        ``remove_source`` actually dropped; a later re-add then classifies as
+        *updated* — harmless for journal consumers, which treat added and
+        updated rows identically.
+        """
+        subjects = [str(s) for s in payload.get("subjects", [])]
+        deleted = [str(s) for s in payload.get("deleted", [])]
+        added = tuple(s for s in subjects if s not in self._live_subjects)
+        updated = tuple(s for s in subjects if s in self._live_subjects)
+        self._live_subjects.update(subjects)
+        self._live_subjects.difference_update(deleted)
+        return ProgressDelta(
+            lsn=record.lsn, added=added, updated=updated, deleted=tuple(deleted)
+        )
 
     def freshness(self) -> dict[str, int]:
         """Per-store lag behind the log head, in operations."""

@@ -185,12 +185,19 @@ class GraphEngine:
         source_id: str = "construction",
         deleted_subjects: Iterable[str] = (),
         replay: bool = True,
+        added_subjects: Iterable[str] | None = None,
     ) -> LogRecord:
         """Publish the current state of *changed_subjects* from a construction store.
 
         The full fact set of each changed subject is staged (so replay is
         idempotent), the operation is appended to the durable log, and — by
         default — agents replay immediately.
+
+        When the producer already classified its change, *added_subjects*
+        names the net-new subset of *changed_subjects*; the classification is
+        embedded in the staged payload and the coordinator delivers it to
+        delta-journal consumers verbatim, instead of re-deriving it by
+        diffing against the delivered-subject set.
         """
         subjects = sorted(set(changed_subjects))
         deleted = sorted(set(deleted_subjects))
@@ -198,6 +205,13 @@ class GraphEngine:
         for subject in subjects:
             rows.extend(triple.to_row() for triple in source_store.facts_about(subject))
         payload = {"subjects": subjects, "deleted": deleted, "triples": rows}
+        if added_subjects is not None:
+            added = set(added_subjects)
+            payload["classified"] = {
+                "added": sorted(added),
+                "updated": [s for s in subjects if s not in added],
+                "deleted": deleted,
+            }
         key = self.object_store.put(payload)
         record = self.log.append("ingest_delta", source_id=source_id, payload_key=key)
         self.stats.operations_published += 1

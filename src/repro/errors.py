@@ -36,6 +36,26 @@ class ConstructionError(SagaError):
     """Raised by the knowledge-construction pipeline (linking, fusion)."""
 
 
+class ConstructionBatchError(ConstructionError):
+    """Raised when some sources of a construction batch failed to fuse.
+
+    Batch consumption isolates per-source failures: the surviving sources are
+    fused (and their growth recorded) before this aggregate is raised.  It
+    carries every per-payload report in batch order — failed ones have their
+    ``error`` field set — plus ``failures``, the ``(source_id, exception)``
+    pairs, so callers keep the partial results.
+    """
+
+    def __init__(self, reports: list, failures: list) -> None:
+        names = ", ".join(source_id for source_id, _ in failures)
+        super().__init__(
+            f"{len(failures)} of {len(reports)} payloads failed during batch "
+            f"construction: {names}"
+        )
+        self.reports = list(reports)
+        self.failures = list(failures)
+
+
 class LinkingError(ConstructionError):
     """Raised during blocking, matching, or resolution."""
 

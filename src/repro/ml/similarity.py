@@ -87,7 +87,11 @@ def hamming_similarity(first: object, second: object) -> float:
 
 def jaro_similarity(first: object, second: object) -> float:
     """Jaro similarity, a name-matching classic."""
-    a, b = normalize_string(first), normalize_string(second)
+    return _jaro_normalized(normalize_string(first), normalize_string(second))
+
+
+def _jaro_normalized(a: str, b: str) -> float:
+    """Jaro similarity over strings that are already normalized."""
     if not a or not b:
         return 0.0
     if a == b:
@@ -127,8 +131,20 @@ def jaro_similarity(first: object, second: object) -> float:
 
 def jaro_winkler_similarity(first: object, second: object, prefix_weight: float = 0.1) -> float:
     """Jaro-Winkler similarity boosting shared prefixes (up to 4 characters)."""
-    jaro = jaro_similarity(first, second)
-    a, b = normalize_string(first), normalize_string(second)
+    return jaro_winkler_normalized(
+        normalize_string(first), normalize_string(second), prefix_weight
+    )
+
+
+def jaro_winkler_normalized(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler over already-normalized strings (hot-path variant).
+
+    Index-backed scans (object resolution's name index) normalize each string
+    once at indexing time; re-normalizing both sides on every comparison
+    dominated the profile, so they call this variant directly.  Identical
+    result to :func:`jaro_winkler_similarity` on normalized input.
+    """
+    jaro = _jaro_normalized(a, b)
     prefix = 0
     for char_a, char_b in zip(a[:4], b[:4]):
         if char_a != char_b:

@@ -266,8 +266,15 @@ class KGEntity:
 
 
 def materialize_entities(store: TripleStore) -> dict[str, KGEntity]:
-    """Materialize every entity in *store* keyed by identifier."""
+    """Materialize every entity in *store* keyed by identifier.
+
+    Subjects are enumerated in sorted order so a KG view materialized from
+    equal store contents is byte-identical regardless of the store's insertion
+    history (or the process's hash seed) — the property the parallel
+    construction scheduler's plan validation relies on, and what makes
+    construction runs reproducible run-to-run.
+    """
     return {
         subject: KGEntity.from_triples(subject, store.facts_about(subject))
-        for subject in store.subjects()
+        for subject in sorted(store.subjects())
     }

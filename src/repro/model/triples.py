@@ -308,6 +308,28 @@ class TripleStore:
         """Serialize the whole store to relational rows."""
         return [t.to_row() for t in self]
 
+    def canonical_rows(self) -> list[tuple]:
+        """Canonical content of the store: every fact with its provenance.
+
+        Sorted, hashable, and independent of insertion order — two stores are
+        byte-equivalent (facts *and* per-source provenance) exactly when their
+        canonical rows are equal.  The parallel-construction equivalence suite
+        and the CONSTRUCT benchmark compare stores through this one
+        definition.
+        """
+        return sorted(
+            (
+                repr(triple.key()),
+                tuple(
+                    sorted(
+                        (ref.source_id, ref.trust)
+                        for ref in triple.provenance.references
+                    )
+                ),
+            )
+            for triple in self
+        )
+
     @classmethod
     def from_rows(cls, rows: Iterable[dict]) -> "TripleStore":
         """Deserialize a store from rows produced by :meth:`to_rows`."""

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.construction.matching import MatcherRegistry
-from repro.errors import ServingError
+from repro.errors import ConstructionBatchError, ServingError
 from repro.construction.pipeline import KnowledgeConstructionPipeline
 from repro.construction.incremental import ConstructionReport
 from repro.datagen.streams import LiveEvent
@@ -114,16 +114,69 @@ class SagaPlatform:
         ingestion_result = pipeline.run(importer, timestamp=timestamp)
         return self._consume(ingestion_result, publish)
 
+    def ingest_batch(
+        self,
+        snapshots: Sequence[tuple[str, Sequence[SourceEntity]]],
+        timestamp: int | None = None,
+        publish: bool = True,
+        max_workers: int | None = None,
+    ) -> list[ConstructionReport]:
+        """Ingest several sources' snapshots as one construction batch.
+
+        Every source's ingestion pipeline runs first (alignment, delta
+        computation, export); the resulting deltas are then consumed through
+        the staged construction scheduler — pre-fusion stages in parallel
+        (bounded by *max_workers*), fusion serialized in snapshot order — and
+        each commit's classified entity delta is published straight into the
+        Graph Engine's journals.  A failing source does not abort the batch:
+        the surviving sources are fused *and published*, then the
+        :class:`~repro.errors.ConstructionBatchError` (which carries every
+        report) propagates.
+        """
+        results = [
+            self.ingestion.get(source_id).run_entities(entities, timestamp=timestamp)
+            for source_id, entities in snapshots
+        ]
+        try:
+            reports = self.construction.consume_many(results, max_workers=max_workers)
+        except ConstructionBatchError as exc:
+            if publish:
+                for report in exc.reports:
+                    if report.error is None:
+                        self._publish_report(report)
+            raise
+        if publish:
+            for report in reports:
+                self._publish_report(report)
+        return reports
+
     def _consume(self, ingestion_result: IngestionResult, publish: bool) -> ConstructionReport:
         report = self.construction.consume_ingestion_result(ingestion_result)
         if publish:
-            changed = set(report.fusion.subjects_touched)
-            self.graph_engine.publish_subjects(
-                self.construction.store, changed, source_id=report.source_id
-            )
-            if self._nerd is not None and changed:
-                self._nerd.refresh_entities(self.graph_engine.triples, sorted(changed))
+            self._publish_report(report)
         return report
+
+    def _publish_report(self, report: ConstructionReport) -> None:
+        """Publish one commit's classified entity delta to the Graph Engine.
+
+        Construction already classified its effect at fusion-commit time
+        (:class:`~repro.construction.incremental.EntityDelta`), so the engine
+        receives added / updated / deleted subjects directly — deletions
+        included — and the coordinator journals them without re-diffing any
+        store.
+        """
+        delta = report.entity_delta
+        changed = [*delta.added, *delta.updated]
+        self.graph_engine.publish_subjects(
+            self.construction.store,
+            changed,
+            source_id=report.source_id,
+            deleted_subjects=delta.deleted,
+            added_subjects=delta.added,
+        )
+        touched = sorted({*changed, *delta.deleted})
+        if self._nerd is not None and touched:
+            self._nerd.refresh_entities(self.graph_engine.triples, touched)
 
     # -------------------------------------------------------------- #
     # ML services

@@ -1,0 +1,567 @@
+"""Property suite for staged parallel construction (Section 2.4, Figure 5).
+
+Seeded randomized multi-source delta sequences are consumed twice — once
+through the classic chained sequential path, once through the
+:class:`ParallelConstructionScheduler` batch path with a worker pool — and
+the suite asserts **byte-identical equivalence**: triple-store contents
+(facts and provenance), link table, per-payload report summaries, classified
+entity deltas, and the Figure 12 growth series must all match exactly.
+
+The sequence count scales with ``--runs-seeded`` like the view-invariant
+suite (capped proportionally, see the repo conftest).  The same module hosts
+the regression tests for the satellite fixes: per-source failure isolation in
+batch consumption, fusion-commit-time growth clocks, plan validation /
+replanning accounting, and the classified construction→views→serving delta
+path with the store re-diff provably not invoked.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SagaPlatform
+from repro.construction import (
+    IncrementalConstructor,
+    KnowledgeConstructionPipeline,
+)
+from repro.construction.fusion import Fusion
+from repro.engine.agents import AgentCoordinator
+from repro.errors import ConstructionBatchError
+from repro.model import default_ontology
+from repro.model.delta import SourceDelta
+from repro.model.entity import SourceEntity
+
+# The construct_seed fixture is parametrized by the repo-level conftest.py
+# from --runs-seeded (with a proportional cap, like the other heavy suites).
+
+# ------------------------------------------------------------------ #
+# randomized delta-sequence harness
+# ------------------------------------------------------------------ #
+TYPES = ("music_artist", "movie", "sports_team", "company")
+NAME_STEMS = (
+    "Echo Valley", "Blue Harbor", "Iron Crest", "Silver Lining",
+    "Neon Skyline", "Golden Mile", "Velvet Coast", "Paper Lantern",
+)
+LABELS = ("Moonrise Records", "Northside Audio", "Cadence House")
+
+
+def _make_entity(rng: random.Random, source_id: str, entity_type: str, index: int) -> SourceEntity:
+    """One synthetic aligned source entity (names shared across sources)."""
+    stem = NAME_STEMS[index % len(NAME_STEMS)]
+    name = stem if rng.random() < 0.7 else f"{stem} {rng.choice(('Band', 'Group', 'Co'))}"
+    properties: dict[str, object] = {
+        "name": name,
+        "genre": rng.choice(["pop", "rock", "jazz"]),
+    }
+    if entity_type == "music_artist" and rng.random() < 0.4:
+        # Reference predicate: exercises object resolution (and its
+        # deterministic entity minting) at the barrier.
+        properties["record_label"] = rng.choice(LABELS)
+    if rng.random() < 0.3:
+        properties["popularity"] = rng.randint(1, 100)
+    return SourceEntity(
+        entity_id=f"{source_id}:{entity_type}/{index}",
+        entity_type=entity_type if rng.random() < 0.9 else "",
+        properties=properties,
+        source_id=source_id,
+        trust=0.8,
+    )
+
+
+def _mutate(rng: random.Random, entity: SourceEntity) -> SourceEntity:
+    clone = entity.copy()
+    clone.properties["genre"] = rng.choice(["pop", "rock", "jazz", "folk"])
+    if rng.random() < 0.3:
+        clone.properties["name"] = f"{clone.properties['name']} II"
+    if not clone.entity_type and rng.random() < 0.5:
+        # An untyped entity gaining a type mid-sequence leaves every snapshot
+        # view it used to sit in — the transition that must poison plan
+        # validation (regression coverage for the untyped→typed case).
+        clone.entity_type = rng.choice(TYPES)
+    return clone
+
+
+def build_batches(seed: int) -> list[list[SourceDelta]]:
+    """Randomized batches of multi-source deltas (same for any consumer)."""
+    rng = random.Random(77_000 + seed)
+    num_sources = rng.randint(2, 4)
+    sources = []
+    for s in range(num_sources):
+        source_id = f"src{s}"
+        # Some runs give sources disjoint type blocks (plans commit as
+        # prepared), others overlap on purpose (plans must replan).
+        if rng.random() < 0.5:
+            source_types = [TYPES[s % len(TYPES)]]
+        else:
+            source_types = rng.sample(TYPES, rng.randint(1, 2))
+        entities = [
+            _make_entity(rng, source_id, rng.choice(source_types), i)
+            for i in range(rng.randint(3, 7))
+        ]
+        sources.append((source_id, entities))
+
+    batches: list[list[SourceDelta]] = []
+    first = [
+        SourceDelta.initial(source_id, entities, timestamp=1)
+        for source_id, entities in sources
+    ]
+    rng.shuffle(first)
+    batches.append(first)
+
+    for round_number in range(rng.randint(0, 2)):
+        batch = []
+        for source_id, entities in sources:
+            if rng.random() < 0.35:
+                continue
+            delta = SourceDelta(source_id=source_id, to_timestamp=2 + round_number)
+            for entity in entities:
+                roll = rng.random()
+                if roll < 0.25:
+                    delta.updated.append(_mutate(rng, entity))
+                elif roll < 0.35:
+                    delta.deleted.append(entity.copy())
+                elif roll < 0.45:
+                    volatile = entity.copy()
+                    volatile.properties = {"popularity": rng.randint(1, 100)}
+                    delta.volatile.append(volatile)
+            if rng.random() < 0.3:
+                fresh = _make_entity(
+                    rng, source_id, rng.choice(TYPES), 100 + round_number
+                )
+                delta.added.append(fresh)
+            if not delta.is_empty():
+                batch.append(delta)
+        if batch:
+            batches.append(batch)
+    return batches
+
+
+def store_rows(store) -> list[tuple]:
+    """Canonical store content: every fact with its full provenance."""
+    return store.canonical_rows()
+
+
+# ------------------------------------------------------------------ #
+# the equivalence property
+# ------------------------------------------------------------------ #
+def test_parallel_equals_sequential(construct_seed):
+    """Parallel batch construction is byte-identical to chained sequential."""
+    ontology = default_ontology()
+    rng = random.Random(31_000 + construct_seed)
+    batches = build_batches(construct_seed)
+
+    sequential = KnowledgeConstructionPipeline(ontology)
+    for batch in batches:
+        for delta in batch:
+            sequential.consume_delta(delta)
+
+    workers = rng.choice([2, 3, 4])
+    parallel = KnowledgeConstructionPipeline(ontology, max_workers=workers)
+    with parallel.scheduler:
+        for batch in batches:
+            parallel.consume_many(batch)
+
+    assert store_rows(parallel.store) == store_rows(sequential.store)
+    assert parallel.link_table == sequential.link_table
+    assert [r.summary() for r in parallel.reports] == [
+        r.summary() for r in sequential.reports
+    ]
+    assert [r.entity_delta for r in parallel.reports] == [
+        r.entity_delta for r in sequential.reports
+    ]
+    assert parallel.growth.series() == sequential.growth.series()
+    # Plan accounting: every block either committed as prepared or replanned.
+    stats = parallel.scheduler.last_batch
+    assert stats is not None
+    assert stats.plans_reused + stats.plans_replanned >= 0
+    assert stats.blocks == len(stats.block_seconds)
+
+
+@pytest.mark.parametrize("clock_seed", range(5))
+def test_parallel_commit_clock_is_deterministic(clock_seed):
+    """Growth clocks depend only on commit order, not on scheduling."""
+    ontology = default_ontology()
+    batches = build_batches(clock_seed)
+    runs = []
+    for workers in (None, 2, 4):
+        pipeline = KnowledgeConstructionPipeline(ontology, max_workers=workers)
+        with pipeline.scheduler:
+            for batch in batches:
+                pipeline.consume_many(batch)
+        runs.append([
+            (r.commit_clock, r.source_id, g.fact_count)
+            for r, g in zip(pipeline.reports, pipeline.growth.points)
+        ])
+    assert runs[0] == runs[1] == runs[2]
+    assert [clock for clock, _, _ in runs[0]] == list(range(1, len(runs[0]) + 1))
+
+
+# ------------------------------------------------------------------ #
+# plan validation / reuse
+# ------------------------------------------------------------------ #
+def _initial_delta(source_id: str, entity_type: str, names: list[str]) -> SourceDelta:
+    entities = [
+        SourceEntity(
+            entity_id=f"{source_id}:{entity_type}/{i}",
+            entity_type=entity_type,
+            properties={"name": name},
+            source_id=source_id,
+            trust=0.8,
+        )
+        for i, name in enumerate(names)
+    ]
+    return SourceDelta.initial(source_id, entities, timestamp=1)
+
+
+def test_disjoint_type_blocks_commit_as_prepared():
+    """Type-disjoint sources never conflict: every plan commits as prepared."""
+    ontology = default_ontology()
+    pipeline = KnowledgeConstructionPipeline(ontology, max_workers=4)
+    batch = [
+        _initial_delta("musicdb", "music_artist", ["Echo Valley", "Blue Harbor"]),
+        _initial_delta("moviedb", "movie", ["Iron Crest", "Silver Lining"]),
+        _initial_delta("sportsdb", "sports_team", ["Golden Mile", "Velvet Coast"]),
+        _initial_delta("corpdb", "company", ["Paper Lantern", "Neon Skyline"]),
+    ]
+    with pipeline.scheduler:
+        pipeline.consume_many(batch)
+    stats = pipeline.scheduler.last_batch
+    # The first commit can never be invalidated; the remaining type-disjoint
+    # blocks must all have survived validation too.
+    assert stats.plans_reused == 4
+    assert stats.plans_replanned == 0
+
+
+def test_same_type_blocks_replan_at_the_barrier():
+    """Same-type sources conflict: later blocks replan serially — and still
+    produce exactly the sequential outcome (cross-source dedup included)."""
+    ontology = default_ontology()
+    pipeline = KnowledgeConstructionPipeline(ontology, max_workers=4)
+    batch = [
+        _initial_delta("musicdb", "music_artist", ["Echo Valley", "Blue Harbor"]),
+        _initial_delta("wiki", "music_artist", ["Echo Valley", "Iron Crest"]),
+    ]
+    with pipeline.scheduler:
+        pipeline.consume_many(batch)
+    stats = pipeline.scheduler.last_batch
+    assert stats.plans_reused == 1
+    assert stats.plans_replanned == 1
+    # The shared artist must have been linked across sources, exactly as the
+    # sequential chain would: one KG id for both sources' "Echo Valley".
+    kg_ids = {
+        pipeline.link_table["musicdb:music_artist/0"],
+        pipeline.link_table["wiki:music_artist/0"],
+    }
+    assert len(kg_ids) == 1
+
+
+def test_typing_an_untyped_entity_poisons_stale_plans():
+    """An untyped entity sits in *every* KG view; a commit that gives it a
+    type changes every snapshot view, so later prepared plans must replan —
+    reusing them diverges from sequential (regression for the untyped→typed
+    validation gap)."""
+    ontology = default_ontology()
+
+    def batch_for(pipeline):
+        # Seed: an alive, untyped entity named "Iron Crest" (the shared genre
+        # pushes the matcher over the positive-edge threshold for same-named
+        # records, so the untyped record below links to it while it is in
+        # view).
+        pipeline.consume_delta(SourceDelta.initial("seed", [SourceEntity(
+            entity_id="seed:thing/0", entity_type="",
+            properties={"name": "Iron Crest", "genre": "rock"}, source_id="seed", trust=0.8,
+        )], timestamp=1))
+        # Batch: delta A is the seed source re-publishing the entity *with a
+        # type* (known-updated path: retract + re-assert types the KG
+        # subject, which removes it from every view whose filter its new
+        # type fails); delta B carries an untyped record of the same name
+        # whose snapshot view still contained the entity.
+        delta_a = SourceDelta(source_id="seed", updated=[SourceEntity(
+            entity_id="seed:thing/0", entity_type="music_artist",
+            properties={"name": "Iron Crest", "genre": "rock"}, source_id="seed", trust=0.8,
+        )], to_timestamp=2)
+        delta_b = SourceDelta.initial("b", [
+            SourceEntity(entity_id="b:m/0", entity_type="movie",
+                         properties={"name": "Paper Lantern"}, source_id="b", trust=0.8),
+            SourceEntity(entity_id="b:y/0", entity_type="",
+                         properties={"name": "Iron Crest", "genre": "rock"}, source_id="b", trust=0.8),
+        ], timestamp=2)
+        return [delta_a, delta_b]
+
+    sequential = KnowledgeConstructionPipeline(ontology)
+    for delta in batch_for(sequential):
+        sequential.consume_delta(delta)
+
+    parallel = KnowledgeConstructionPipeline(ontology, max_workers=2)
+    with parallel.scheduler:
+        parallel.consume_many(batch_for(parallel))
+
+    assert parallel.link_table == sequential.link_table
+    assert store_rows(parallel.store) == store_rows(sequential.store)
+
+
+# ------------------------------------------------------------------ #
+# satellite: per-source failure isolation
+# ------------------------------------------------------------------ #
+def test_batch_isolates_per_source_failures(monkeypatch):
+    """One failing delta no longer aborts the batch: the rest keep fusing and
+    an aggregate error carrying every report is raised at the end."""
+    ontology = default_ontology()
+    pipeline = KnowledgeConstructionPipeline(ontology, max_workers=2)
+
+    original = Fusion.fuse_added
+
+    def explosive(self, store, triples_by_subject, same_as=()):
+        if any(subject_triples and subject_triples[0].provenance.sources == ["faulty"]
+               for subject_triples in triples_by_subject.values()):
+            raise RuntimeError("synthetic fusion failure")
+        return original(self, store, triples_by_subject, same_as=same_as)
+
+    monkeypatch.setattr(Fusion, "fuse_added", explosive)
+
+    batch = [
+        _initial_delta("musicdb", "music_artist", ["Echo Valley"]),
+        _initial_delta("faulty", "movie", ["Iron Crest"]),
+        _initial_delta("corpdb", "company", ["Paper Lantern"]),
+    ]
+    with pytest.raises(ConstructionBatchError) as excinfo:
+        with pipeline.scheduler:
+            pipeline.consume_many(batch)
+    error = excinfo.value
+    assert len(error.reports) == 3
+    assert [r.error is None for r in error.reports] == [True, False, True]
+    assert "RuntimeError" in error.reports[1].error
+    assert [source_id for source_id, _ in error.failures] == ["faulty"]
+    # The surviving sources fused and were recorded; the failed one consumed
+    # no growth clock tick.
+    assert [r.source_id for r in pipeline.reports] == ["musicdb", "corpdb"]
+    assert [r.commit_clock for r in pipeline.reports] == [1, 2]
+    assert "musicdb:music_artist/0" in pipeline.link_table
+    assert "corpdb:company/0" in pipeline.link_table
+    # Failure isolation is per-source, not transactional (matching a failed
+    # sequential consume): the faulty source may have linked, but nothing of
+    # it reached the store — fusion is where the store mutates.
+    faulty_kg_id = pipeline.link_table.get("faulty:movie/0")
+    if faulty_kg_id is not None:
+        assert not pipeline.store.facts_about(faulty_kg_id)
+
+
+def test_sequential_chain_still_raises_immediately(monkeypatch):
+    """Single-delta consumption keeps its fail-fast contract."""
+    ontology = default_ontology()
+    constructor = IncrementalConstructor(ontology)
+
+    def explosive(self, store, triples_by_subject, same_as=()):
+        raise RuntimeError("synthetic fusion failure")
+
+    monkeypatch.setattr(Fusion, "fuse_added", explosive)
+    with pytest.raises(RuntimeError):
+        constructor.consume(_initial_delta("musicdb", "music_artist", ["Echo Valley"]))
+
+
+# ------------------------------------------------------------------ #
+# classified entity deltas
+# ------------------------------------------------------------------ #
+def test_entity_delta_classifies_add_update_delete():
+    ontology = default_ontology()
+    constructor = IncrementalConstructor(ontology)
+    initial = _initial_delta("musicdb", "music_artist", ["Echo Valley", "Blue Harbor"])
+    report = constructor.consume(initial)
+    assert len(report.entity_delta.added) >= 2
+    assert report.entity_delta.updated == ()
+    assert report.entity_delta.deleted == ()
+
+    update = SourceDelta(
+        source_id="musicdb",
+        updated=[SourceEntity(
+            entity_id="musicdb:music_artist/0",
+            entity_type="music_artist",
+            properties={"name": "Echo Valley", "genre": "pop"},
+            source_id="musicdb",
+            trust=0.8,
+        )],
+        to_timestamp=2,
+    )
+    report = constructor.consume(update)
+    kg_id = constructor.link_table["musicdb:music_artist/0"]
+    assert kg_id in report.entity_delta.updated
+    assert report.entity_delta.added == ()
+
+    deletion = SourceDelta(
+        source_id="musicdb",
+        deleted=[initial.added[1].copy()],
+        to_timestamp=3,
+    )
+    report = constructor.consume(deletion)
+    gone = constructor.link_table["musicdb:music_artist/1"]
+    # musicdb was the only source: the entity left the KG.  Fusion keeps the
+    # same_as linking provenance as a tombstone, so "deleted" means no
+    # knowledge-bearing facts remain — not a literally empty subject.
+    assert gone in report.entity_delta.deleted
+    remaining = constructor.store.facts_about(gone)
+    assert all(t.predicate == "same_as" for t in remaining)
+
+
+def test_entity_delta_retraction_with_surviving_source_is_an_update():
+    """A retraction another source still supports classifies as *updated*."""
+    ontology = default_ontology()
+    constructor = IncrementalConstructor(ontology)
+    constructor.consume(_initial_delta("musicdb", "music_artist", ["Echo Valley"]))
+    constructor.consume(_initial_delta("wiki", "music_artist", ["Echo Valley"]))
+    kg_music = constructor.link_table["musicdb:music_artist/0"]
+    kg_wiki = constructor.link_table["wiki:music_artist/0"]
+    assert kg_music == kg_wiki, "both sources must link to one entity"
+
+    deletion = SourceDelta(
+        source_id="musicdb",
+        deleted=[SourceEntity(
+            entity_id="musicdb:music_artist/0",
+            entity_type="music_artist",
+            properties={"name": "Echo Valley"},
+            source_id="musicdb",
+        )],
+        to_timestamp=2,
+    )
+    report = constructor.consume(deletion)
+    assert kg_music in report.entity_delta.updated
+    assert kg_music not in report.entity_delta.deleted
+    assert constructor.store.facts_about(kg_music), "wiki's facts must survive"
+
+
+# ------------------------------------------------------------------ #
+# construction → views → serving: no store re-diff
+# ------------------------------------------------------------------ #
+def _platform_with_views() -> SagaPlatform:
+    platform = SagaPlatform()
+    platform.graph_engine.register_standard_views()
+    platform.graph_engine.materialize_views()
+    return platform
+
+
+def _artist_entities(source_id: str, names: list[str]) -> list[SourceEntity]:
+    return [
+        SourceEntity(
+            entity_id=f"{source_id}:artist/{i}",
+            entity_type="music_artist",
+            properties={"name": name},
+            source_id=source_id,
+            trust=0.8,
+        )
+        for i, name in enumerate(names)
+    ]
+
+
+def test_platform_publishes_classified_deltas_without_rediff(monkeypatch):
+    """Construction deltas reach the view journals with the coordinator's
+    diff-based classification provably never invoked."""
+    platform = _platform_with_views()
+
+    def forbidden(self, record, payload):
+        raise AssertionError(
+            "store re-diff classification must not run for construction publishes"
+        )
+
+    monkeypatch.setattr(AgentCoordinator, "_classify_by_diff", forbidden)
+
+    platform.register_source("musicdb")
+    report = platform.ingest_snapshot(
+        "musicdb", _artist_entities("musicdb", ["Echo Valley", "Blue Harbor"])
+    )
+    assert set(report.entity_delta.added)
+    platform.graph_engine.update_views()
+
+    # Second snapshot: one update, one deletion — classified end to end.
+    second = _artist_entities("musicdb", ["Echo Valley Band"])
+    report = platform.ingest_snapshot("musicdb", second)
+    assert report.entity_delta.deleted, "the dropped artist must classify as deleted"
+    timings = platform.graph_engine.update_views()
+    assert timings is not None
+
+    # The classified deltas flowed into the per-view journals: the deleted
+    # subject appears as a journal deletion for the views that carried it.
+    manager = platform.graph_engine.view_manager
+    deleted = set(report.entity_delta.deleted)
+    journal_deltas = manager.view_deltas_since("entity_features", 0)
+    if journal_deltas is not None:
+        assert deleted <= set(journal_deltas.deleted) | set(journal_deltas.changed)
+
+
+def test_platform_ingest_batch_parallel_end_to_end():
+    """ingest_batch runs multi-source construction and publishes every commit."""
+    platform = _platform_with_views()
+    for source_id in ("musicdb", "wiki"):
+        platform.register_source(source_id)
+    reports = platform.ingest_batch(
+        [
+            ("musicdb", _artist_entities("musicdb", ["Echo Valley", "Blue Harbor"])),
+            ("wiki", _artist_entities("wiki", ["Echo Valley", "Iron Crest"])),
+        ],
+        max_workers=2,
+    )
+    assert [r.source_id for r in reports] == ["musicdb", "wiki"]
+    assert all(r.error is None for r in reports)
+    # Both publishes replayed into the engine and the cross-source duplicate
+    # was merged exactly as sequential ingestion would have.
+    assert platform.construction.link_table["musicdb:artist/0"] == (
+        platform.construction.link_table["wiki:artist/0"]
+    )
+    assert all(lag == 0 for lag in platform.graph_engine.freshness().values())
+    hits = platform.graph_engine.search("Echo Valley", k=3)
+    assert hits
+
+
+def test_platform_ingest_batch_publishes_survivors_on_failure(monkeypatch):
+    platform = _platform_with_views()
+    for source_id in ("musicdb", "faulty"):
+        platform.register_source(source_id)
+
+    original = Fusion.fuse_added
+
+    def explosive(self, store, triples_by_subject, same_as=()):
+        if any(subject_triples and subject_triples[0].provenance.sources == ["faulty"]
+               for subject_triples in triples_by_subject.values()):
+            raise RuntimeError("synthetic fusion failure")
+        return original(self, store, triples_by_subject, same_as=same_as)
+
+    monkeypatch.setattr(Fusion, "fuse_added", explosive)
+
+    with pytest.raises(ConstructionBatchError):
+        platform.ingest_batch(
+            [
+                ("musicdb", _artist_entities("musicdb", ["Echo Valley"])),
+                ("faulty", _artist_entities("faulty", ["Iron Crest"])),
+            ],
+        )
+    # The surviving source was still published and replayed.
+    assert all(lag == 0 for lag in platform.graph_engine.freshness().values())
+    assert platform.graph_engine.search("Echo Valley", k=3)
+
+
+def test_classified_deltas_ship_to_replica_fleet(tmp_path):
+    """The continuous path: construction commit → view journal → replicas."""
+    platform = _platform_with_views()
+    platform.register_source("musicdb")
+    platform.ingest_snapshot("musicdb", _artist_entities("musicdb", ["Echo Valley"]))
+    platform.graph_engine.update_views()
+
+    fleet = platform.start_serving_fleet(
+        views=["entity_features"], num_replicas=2, journal_dir=str(tmp_path)
+    )
+    try:
+        platform.ingest_snapshot(
+            "musicdb", _artist_entities("musicdb", ["Echo Valley", "Blue Harbor"])
+        )
+        platform.graph_engine.update_views()
+        fleet.drain()
+        primary = {
+            row["subject"]: row
+            for row in platform.graph_engine.view_artifact("entity_features")
+        }
+        for node in fleet.replicas.values():
+            for subject in primary:
+                document = node.get("entity_features", subject)
+                assert document is not None, f"{subject} missing on {node.name}"
+    finally:
+        platform.stop_serving_fleet()
