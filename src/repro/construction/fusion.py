@@ -105,8 +105,9 @@ class Fusion:
         "retract then re-assert" semantics of an upstream edit.
         """
         report = FusionReport()
-        for subject in sorted(triples_by_subject):
-            report.facts_removed += self._retract_source_facts(store, subject, source_id)
+        report.facts_removed += self._retract_source_facts(
+            store, sorted(triples_by_subject), source_id
+        )
         report.merge(self.fuse_added(store, triples_by_subject, same_as))
         return report
 
@@ -115,10 +116,9 @@ class Fusion:
     ) -> FusionReport:
         """Fuse the *Deleted* partition: retract one source from the subjects."""
         report = FusionReport()
-        for subject in sorted(set(subjects)):
-            removed = self._retract_source_facts(store, subject, source_id)
-            report.facts_removed += removed
-            report.subjects_touched.add(subject)
+        deleted = sorted(set(subjects))
+        report.facts_removed += self._retract_source_facts(store, deleted, source_id)
+        report.subjects_touched |= set(deleted)
         return report
 
     def fuse_volatile(
@@ -136,14 +136,9 @@ class Fusion:
         volatile_predicates = self.ontology.volatile_predicates()
         report = FusionReport()
         for subject, triples in sorted(triples_by_subject.items()):
-            for existing in store.facts_about(subject):
-                if existing.predicate not in volatile_predicates:
-                    continue
-                if source_id in existing.provenance:
-                    existing.provenance.remove_source(source_id)
-                    if existing.provenance.is_empty():
-                        store.discard(existing)
-                        report.facts_removed += 1
+            report.facts_removed += store.retract_source_from_subjects(
+                source_id, (subject,), only_predicates=volatile_predicates
+            )
             for triple in triples:
                 if triple.predicate in volatile_predicates:
                     self._add_fact(store, triple, report)
@@ -265,25 +260,19 @@ class Fusion:
     def _add_fact(
         self, store: TripleStore, triple: ExtendedTriple, report: FusionReport
     ) -> None:
-        existed = triple in store
+        before = store.fact_count()
         store.add(triple)
-        if existed:
+        if store.fact_count() == before:
             report.facts_reinforced += 1
         else:
             report.facts_added += 1
 
-    def _retract_source_facts(self, store: TripleStore, subject: str, source_id: str) -> int:
-        removed = 0
-        for triple in store.facts_about(subject):
-            if source_id not in triple.provenance:
-                continue
-            if triple.predicate == SAME_AS_PREDICATE:
-                continue
-            triple.provenance.remove_source(source_id)
-            if triple.provenance.is_empty():
-                store.discard(triple)
-                removed += 1
-        return removed
+    def _retract_source_facts(
+        self, store: TripleStore, subjects: Sequence[str], source_id: str
+    ) -> int:
+        return store.retract_source_from_subjects(
+            source_id, subjects, skip_predicates=(SAME_AS_PREDICATE,)
+        )
 
     def _record_same_as(
         self, store: TripleStore, same_as: Iterable[tuple[str, str]]

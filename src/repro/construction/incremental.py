@@ -229,13 +229,15 @@ class _CommitTracker:
         """
         alive = False
         types: set[str] = set()
-        for triple in self.store.facts_about(subject):
-            if triple.is_composite:
+        # Columnar scan: liveness and types are order-independent, so skip
+        # the materialized, repr-sorted facts_about path entirely.
+        for predicate, is_composite, obj in self.store.scan_subject(subject):
+            if is_composite:
                 alive = True
-            elif triple.predicate == TYPE_PREDICATE:
+            elif predicate == TYPE_PREDICATE:
                 alive = True
-                types.add(str(triple.obj))
-            elif triple.predicate != SAME_AS_PREDICATE:
+                types.add(str(obj))
+            elif predicate != SAME_AS_PREDICATE:
                 alive = True
         return alive, types
 

@@ -52,13 +52,9 @@ class PrimaryStoreAgent(OrchestrationAgent):
 
     def apply(self, record: LogRecord, payload: object) -> None:
         if record.operation == "ingest_delta" and isinstance(payload, dict):
-            for subject in payload.get("deleted", []):
-                self.store.remove_subject(subject)
-            changed = payload.get("subjects", [])
-            for subject in changed:
-                self.store.remove_subject(subject)
-            for row in payload.get("triples", []):
-                self.store.add(ExtendedTriple.from_row(row))
+            self.store.remove_subjects_batch(payload.get("deleted", []))
+            self.store.remove_subjects_batch(payload.get("subjects", []))
+            self.store.add_rows(payload.get("triples", []))
         elif record.operation == "remove_source":
             self.store.remove_source(record.source_id)
 
@@ -202,8 +198,12 @@ class GraphEngine:
         subjects = sorted(set(changed_subjects))
         deleted = sorted(set(deleted_subjects))
         rows: list[dict] = []
-        for subject in subjects:
-            rows.extend(triple.to_row() for triple in source_store.facts_about(subject))
+        if hasattr(source_store, "rows_about"):
+            for subject in subjects:
+                rows.extend(source_store.rows_about(subject))
+        else:
+            for subject in subjects:
+                rows.extend(triple.to_row() for triple in source_store.facts_about(subject))
         payload = {"subjects": subjects, "deleted": deleted, "triples": rows}
         if added_subjects is not None:
             added = set(added_subjects)
@@ -390,14 +390,16 @@ class GraphEngine:
         def build_entity_neighbourhood(context: ViewContext) -> list[dict]:
             features = {row["subject"]: row for row in context.artifact("entity_features")}
             edges = []
-            for triple in engine.triples:
-                if isinstance(triple.obj, str) and triple.obj in features:
+            # Columnar scan: edge extraction only needs four columns, so stream
+            # them straight out of the store instead of materializing triples.
+            for subject, predicate, r_predicate, obj in engine.triples.scan_tuples():
+                if isinstance(obj, str) and obj in features:
                     edges.append(
                         {
-                            "source": triple.subject,
-                            "target": triple.obj,
-                            "predicate": triple.relationship_predicate or triple.predicate,
-                            "source_importance": features.get(triple.subject, {}).get(
+                            "source": subject,
+                            "target": obj,
+                            "predicate": r_predicate or predicate,
+                            "source_importance": features.get(subject, {}).get(
                                 "importance", 0.0
                             ),
                         }

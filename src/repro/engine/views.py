@@ -1269,8 +1269,12 @@ class ViewManager:
         :class:`~repro.errors.ViewError` when the artifact is not row-shaped
         (nothing to audit row-wise) or not materialized.
         """
-        _, _, rows = self.view_rows_snapshot(name)
-        return {subject: row_checksum(row) for subject, row in rows.items()}
+        # Hash in one pass under the state lock: the checksums only need a
+        # consistent read of each row, so the per-row dict copies a full
+        # snapshot makes for post-lock hashing are wasted work here.
+        with self._state_lock(name):
+            rows = rows_by_subject(self.artifact(name), name)
+            return {subject: row_checksum(row) for subject, row in rows.items()}
 
     def view_digest(
         self, name: str, snapshot: tuple[int, int, dict[str, dict]] | None = None

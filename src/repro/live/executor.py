@@ -92,15 +92,23 @@ def merge_partial_results(
     top), and ``from_cache`` is true only when every fragment was served from
     its replica's cache.
     """
-    by_entity: dict[str, QueryResultRow] = {}
-    examined = 0
-    latency = 0.0
-    for partial in partials:
-        examined += partial.candidates_examined
-        latency += partial.latency_ms
-        for row in partial.rows:
-            by_entity.setdefault(row.entity_id, row)
-    rows = [by_entity[entity_id] for entity_id in sorted(by_entity)]
+    if len(partials) == 1:
+        # Single-fragment fast path (point lookups, single-replica routes):
+        # fragment rows are already entity-ordered and duplicate-free, so skip
+        # the dict build and re-sort.
+        examined = partials[0].candidates_examined
+        latency = partials[0].latency_ms
+        rows = list(partials[0].rows)
+    else:
+        by_entity: dict[str, QueryResultRow] = {}
+        examined = 0
+        latency = 0.0
+        for partial in partials:
+            examined += partial.candidates_examined
+            latency += partial.latency_ms
+            for row in partial.rows:
+                by_entity.setdefault(row.entity_id, row)
+        rows = [by_entity[entity_id] for entity_id in sorted(by_entity)]
     if plan.limit is not None:
         rows = rows[: plan.limit.limit]
     return QueryResult(

@@ -145,37 +145,63 @@ class InvertedGraphIndex:
         self._name_postings: dict[str, set[str]] = defaultdict(set)
         self._exact_names: dict[str, set[str]] = defaultdict(set)
         self._value_postings: dict[tuple[str, str], set[str]] = defaultdict(set)
+        # Reverse map: entity id -> (name tokens, exact names, value keys) it
+        # is posted under, so re-indexing a document touches only its own
+        # postings instead of scanning the whole index.
+        self._doc_keys: dict[str, tuple[set[str], set[str], set[tuple[str, str]]]] = {}
         self.lookups = 0
 
     def index_document(self, document: LiveEntityDocument) -> None:
         """Index (or re-index) one entity document."""
         self.remove(document.entity_id)
+        name_tokens: set[str] = set()
+        exact_names: set[str] = set()
+        value_keys: set[tuple[str, str]] = set()
         names = [document.name, *[str(v) for v in document.facts.get("alias", [])]]
         for name in names:
             normalized = normalize_string(name)
             if not normalized:
                 continue
             self._exact_names[normalized].add(document.entity_id)
+            exact_names.add(normalized)
             for token in tokens(normalized):
                 self._name_postings[token].add(document.entity_id)
+                name_tokens.add(token)
         for predicate, values in document.facts.items():
             for value in values:
                 key = (predicate, normalize_string(value))
                 self._value_postings[key].add(document.entity_id)
+                value_keys.add(key)
         for predicate, reference in document.references.items():
-            self._value_postings[(predicate, normalize_string(reference))].add(document.entity_id)
+            key = (predicate, normalize_string(reference))
+            self._value_postings[key].add(document.entity_id)
+            value_keys.add(key)
+        self._doc_keys[document.entity_id] = (name_tokens, exact_names, value_keys)
 
     def remove(self, entity_id: str) -> None:
-        """Drop an entity from all postings."""
-        for postings in (self._name_postings, self._exact_names):
-            for key in list(postings):
-                postings[key].discard(entity_id)
-                if not postings[key]:
-                    del postings[key]
-        for key in list(self._value_postings):
-            self._value_postings[key].discard(entity_id)
-            if not self._value_postings[key]:
-                del self._value_postings[key]
+        """Drop an entity from all postings it is listed under."""
+        keys = self._doc_keys.pop(entity_id, None)
+        if keys is None:
+            return
+        name_tokens, exact_names, value_keys = keys
+        for token in name_tokens:
+            postings = self._name_postings.get(token)
+            if postings is not None:
+                postings.discard(entity_id)
+                if not postings:
+                    del self._name_postings[token]
+        for name in exact_names:
+            postings = self._exact_names.get(name)
+            if postings is not None:
+                postings.discard(entity_id)
+                if not postings:
+                    del self._exact_names[name]
+        for key in value_keys:
+            postings = self._value_postings.get(key)
+            if postings is not None:
+                postings.discard(entity_id)
+                if not postings:
+                    del self._value_postings[key]
 
     def lookup_name(self, name: str) -> set[str]:
         """Entity ids whose name matches *name* exactly (normalized)."""
@@ -237,6 +263,10 @@ def document_checksum(document: LiveEntityDocument) -> str:
     facts, references — and deliberately excludes ``timestamp`` and
     ``source_id``: the same row shipped in different batches (snapshot vs
     delta, different LSNs) must still hash identically on every replica.
+
+    Always recomputed from the document: anti-entropy exists to catch silent
+    in-place corruption, so the digest must never be cached on the object it
+    is auditing.
     """
     canonical = json.dumps(
         [

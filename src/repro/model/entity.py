@@ -274,6 +274,13 @@ def materialize_entities(store: TripleStore) -> dict[str, KGEntity]:
     construction scheduler's plan validation relies on, and what makes
     construction runs reproducible run-to-run.
     """
+    if hasattr(store, "iter_subject_groups"):
+        # Columnar fast path: one pass over the subject index yields each
+        # group already in facts_about order, skipping the per-subject lookups.
+        return {
+            subject: KGEntity.from_triples(subject, facts)
+            for subject, facts in store.iter_subject_groups()
+        }
     return {
         subject: KGEntity.from_triples(subject, store.facts_about(subject))
         for subject in sorted(store.subjects())

@@ -9,19 +9,49 @@ about a composite relationship node (e.g. ``educated_at.school``).
 Every extended triple also carries provenance (sources + trust) and a locale,
 as required for data governance and multi-lingual knowledge.
 
-The :class:`TripleStore` is a small in-memory container with the indexes the
-rest of the platform needs (by subject, by predicate, by object) plus source
-removal and snapshot/diff helpers.  The production system stores these triples
-in a distributed warehouse; the relational layout is identical.
+The :class:`TripleStore` is a dictionary-encoded, predicate-partitioned
+columnar store (see :mod:`repro.model.columnar` for the storage primitives and
+``docs/store.md`` for the full design):
+
+* subjects, predicates, relationship ids, and locales are interned to dense
+  integer ids; object values are interned with ``dict`` equality semantics
+  while a literal side-table keeps each row's value exactly as provided;
+* each predicate owns a partition of parallel ``array('q')`` id columns, so
+  predicate scans touch one contiguous partition and point lookups use the
+  partition's ``(subject, predicate)`` composite index;
+* batch operators (:meth:`add_batch`, :meth:`add_rows`,
+  :meth:`remove_subjects_batch`, :meth:`merge_from`, :meth:`project`,
+  :meth:`scan_tuples`) move whole fact sets without materializing triples;
+* the row-at-a-time API (:meth:`add`, :meth:`facts_about`, iteration, ...) is
+  a compatibility shim materializing :class:`ExtendedTriple` views lazily and
+  caching them per row — a materialized triple shares the store's live
+  :class:`~repro.model.provenance.Provenance` object, so in-place provenance
+  edits through it are visible to the store, exactly as with the legacy
+  dict-of-triples layout (kept verbatim as
+  :class:`repro.baselines.legacy_store.LegacyTripleStore`);
+* :meth:`snapshot` is copy-on-write over the column chunks instead of a deep
+  copy of every triple.
+
+:meth:`canonical_rows` is the single equivalence oracle: the seeded suites
+prove the columnar store byte-identical to the legacy layout through it.  The
+production system stores these triples in a distributed warehouse; the
+relational layout is identical.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator
 
 from repro.errors import DataModelError
+from repro.model.columnar import (
+    ROW_BITS,
+    ROW_MASK,
+    ObjectDict,
+    PredicatePartition,
+    TermDict,
+    pack_ref,
+)
 from repro.model.provenance import DEFAULT_LOCALE, Provenance
 
 Value = object  # literal (str, int, float, bool) or an entity identifier
@@ -146,74 +176,114 @@ class ExtendedTriple:
 
 
 class TripleStore:
-    """In-memory collection of extended triples with secondary indexes.
+    """Columnar, dictionary-interned collection of extended triples.
 
     The store deduplicates facts by :meth:`ExtendedTriple.key`; adding an
     already-present fact merges provenance instead of creating a duplicate row
-    (non-destructive integration).
+    (non-destructive integration).  Facts live in per-predicate column
+    partitions; the row-at-a-time API materializes :class:`ExtendedTriple`
+    views lazily.
+
+    Internal layout (private — the lint guard bans touching these outside
+    ``src/repro/model/``):
+
+    ``_by_key``
+        Insertion-ordered dict from the id-encoded fact key
+        ``(sid, pid, rid, rpid, oid, lid)`` to a packed row reference
+        ``(pid << 32) | row``.  Iteration order of the store is this dict's
+        insertion order, matching the legacy layout.
+    ``_by_subject`` / ``_by_object``
+        Exact secondary indexes from subject / object id to packed refs.
+    ``_by_source``
+        Inverted index from source id to packed refs.  A *superset* index:
+        fusion removes sources from provenance in place through materialized
+        triples without telling the store, so entries are re-checked against
+        live provenance before use (no code path adds sources in place, so the
+        superset never misses a fact).
     """
 
     def __init__(self, triples: Iterable[ExtendedTriple] | None = None) -> None:
-        self._by_key: dict[tuple, ExtendedTriple] = {}
-        self._by_subject: dict[str, set[tuple]] = defaultdict(set)
-        self._by_predicate: dict[str, set[tuple]] = defaultdict(set)
-        self._by_object: dict[Value, set[tuple]] = defaultdict(set)
+        self._subject_terms = TermDict()
+        self._predicate_terms = TermDict()  # predicates and relationship predicates
+        self._rid_terms = TermDict()  # relationship ids (``None`` for simple facts)
+        self._locale_terms = TermDict()
+        self._object_terms = ObjectDict()
+        self._none_rid = self._rid_terms.intern(None)
+        self._none_rpred = self._predicate_terms.intern(None)
+        self._partitions: dict[int, PredicatePartition] = {}
+        self._by_key: dict[tuple, int] = {}
+        self._by_subject: dict[int, set[int]] = {}
+        self._by_object: dict[int, set[int]] = {}
+        self._by_source: dict[str, set[int]] = {}
+        # Repeated-scan cache: subject id -> facts in facts_about order.
+        # Invalidated per subject when a fact is created or removed; provenance
+        # merges mutate the cached facts in place and need no invalidation.
+        self._facts_cache: dict[int, list[ExtendedTriple]] = {}
+        self._cow = False
         if triples:
+            self._ensure_private()
             for triple in triples:
-                self.add(triple)
+                self._upsert_triple(triple)
 
     # ------------------------------------------------------------------ #
-    # mutation
+    # mutation (row-at-a-time shim)
     # ------------------------------------------------------------------ #
     def add(self, triple: ExtendedTriple) -> ExtendedTriple:
         """Insert *triple*, merging provenance when the fact already exists.
 
-        Returns the stored triple (existing instance when merged).
+        Returns the stored triple (the same materialized view on every call
+        for a given fact).
         """
-        key = triple.key()
-        existing = self._by_key.get(key)
-        if existing is not None:
-            existing.provenance = existing.provenance.merge(triple.provenance)
-            return existing
-        stored = triple.copy()
-        self._by_key[key] = stored
-        self._by_subject[stored.subject].add(key)
-        self._by_predicate[stored.predicate].add(key)
-        self._index_object(stored, key)
-        return stored
+        self._ensure_private()
+        return self._materialize(self._upsert_triple(triple))
 
     def add_all(self, triples: Iterable[ExtendedTriple]) -> int:
         """Insert every triple; return how many new facts were created."""
-        before = len(self._by_key)
-        for triple in triples:
-            self.add(triple)
-        return len(self._by_key) - before
+        return self.add_batch(triples)
 
     def discard(self, triple: ExtendedTriple) -> bool:
         """Remove the fact identified by *triple*'s key. Returns ``True`` if present."""
-        return self._discard_key(triple.key())
+        key = self._key_ids(triple)
+        if key is None:
+            return False
+        ref = self._by_key.get(key)
+        if ref is None:
+            return False
+        self._ensure_private()
+        self._discard_ref(ref)
+        return True
 
     def remove_subject(self, subject: str) -> int:
         """Remove every fact about *subject*; return the number removed."""
-        keys = list(self._by_subject.get(subject, ()))
-        for key in keys:
-            self._discard_key(key)
-        return len(keys)
+        sid = self._subject_terms.id_of(subject)
+        if sid is None or sid not in self._by_subject:
+            return 0
+        self._ensure_private()
+        refs = list(self._by_subject.get(sid, ()))
+        for ref in refs:
+            self._discard_ref(ref)
+        return len(refs)
 
     def remove_source(self, source_id: str) -> int:
         """Drop *source_id* from all provenance; purge facts left unsupported.
 
         Implements on-demand source deletion (licensing / governance).
-        Returns the number of facts removed entirely.
+        Returns the number of facts removed entirely.  Touches only the facts
+        in the source's inverted-index entry, not the whole store.
         """
+        if not self._by_source.get(source_id):
+            return 0
+        self._ensure_private()
         removed = 0
-        for key in list(self._by_key):
-            triple = self._by_key[key]
-            if source_id in triple.provenance:
-                triple.provenance.remove_source(source_id)
-                if triple.provenance.is_empty():
-                    self._discard_key(key)
-                    removed += 1
+        for ref in list(self._by_source.get(source_id, ())):
+            prov = self._partitions[ref >> ROW_BITS].prov[ref & ROW_MASK]
+            if prov is None or source_id not in prov:
+                continue  # stale superset entry: the source left this fact in place
+            prov.remove_source(source_id)
+            if prov.is_empty():
+                self._discard_ref(ref)
+                removed += 1
+        self._by_source.pop(source_id, None)
         return removed
 
     def overwrite_source_partition(
@@ -228,69 +298,353 @@ class TripleStore:
         Returns ``(facts_removed, facts_added)``.
         """
         removed = 0
-        for key in list(self._by_key):
-            triple = self._by_key[key]
-            if triple.provenance.sources == [source_id]:
-                self._discard_key(key)
-                removed += 1
-        added = self.add_all(triples)
+        if self._by_source.get(source_id):
+            self._ensure_private()
+            for ref in list(self._by_source.get(source_id, ())):
+                prov = self._partitions[ref >> ROW_BITS].prov[ref & ROW_MASK]
+                if prov is not None and prov.sources == [source_id]:
+                    self._discard_ref(ref)
+                    removed += 1
+        added = self.add_batch(triples)
         return removed, added
+
+    # ------------------------------------------------------------------ #
+    # batch operators
+    # ------------------------------------------------------------------ #
+    def add_batch(self, triples: Iterable[ExtendedTriple]) -> int:
+        """Insert triples without materializing views; return new-fact count."""
+        self._ensure_private()
+        before = len(self._by_key)
+        for triple in triples:
+            self._upsert_triple(triple)
+        return len(self._by_key) - before
+
+    def add_rows(self, rows: Iterable[dict]) -> int:
+        """Insert relational rows (:meth:`ExtendedTriple.to_row` format) directly.
+
+        Skips triple construction entirely; validation matches
+        :meth:`ExtendedTriple.from_row` exactly.  Returns new-fact count.
+        """
+        self._ensure_private()
+        before = len(self._by_key)
+        for row in rows:
+            subject = row["subject"]
+            predicate = row["predicate"]
+            if not subject:
+                raise DataModelError("triple subject must be non-empty")
+            if not predicate:
+                raise DataModelError("triple predicate must be non-empty")
+            relationship_id = row.get("r_id")
+            relationship_predicate = row.get("r_predicate")
+            if (relationship_id is None) != (relationship_predicate is None):
+                raise DataModelError(
+                    "relationship_id and relationship_predicate must be set together "
+                    f"(subject={subject!r}, predicate={predicate!r})"
+                )
+            provenance = Provenance.from_mapping(
+                dict(zip(row.get("sources", []), row.get("trust", [])))
+            )
+            self._upsert(
+                subject,
+                predicate,
+                relationship_id,
+                relationship_predicate,
+                row["object"],
+                row.get("locale", DEFAULT_LOCALE),
+                provenance.references,
+            )
+        return len(self._by_key) - before
+
+    def remove_subjects_batch(self, subjects: Iterable[str]) -> int:
+        """Remove every fact of every listed subject; return the number removed."""
+        removed = 0
+        for subject in subjects:
+            removed += self.remove_subject(subject)
+        return removed
+
+    def retract_source_from_subjects(
+        self,
+        source_id: str,
+        subjects: Iterable[str],
+        only_predicates: Iterable[str] | None = None,
+        skip_predicates: Iterable[str] = (),
+    ) -> int:
+        """Remove *source_id* from the provenance of matching facts of the
+        given subjects, purging facts left unsupported.
+
+        The fusion retract primitive: candidate facts come from intersecting
+        the subject and source inverted indexes, so a retraction touches only
+        the facts the source actually asserted instead of scanning every fact
+        of the subject.  *only_predicates* restricts the retraction to those
+        predicates (the volatile-partition path); *skip_predicates* exempts
+        predicates (fusion never retracts ``sameAs`` links).  Returns the
+        number of facts purged entirely.
+        """
+        if not self._by_source.get(source_id):
+            return 0
+        pid_filter = None
+        if only_predicates is not None:
+            ids = (self._predicate_terms.id_of(p) for p in only_predicates)
+            pid_filter = {pid for pid in ids if pid is not None}
+        ids = (self._predicate_terms.id_of(p) for p in skip_predicates)
+        skip_pids = {pid for pid in ids if pid is not None}
+        self._ensure_private()
+        removed = 0
+        for subject in subjects:
+            sid = self._subject_terms.id_of(subject)
+            if sid is None:
+                continue
+            subject_refs = self._by_subject.get(sid)
+            source_refs = self._by_source.get(source_id)
+            if not subject_refs or not source_refs:
+                continue
+            for ref in subject_refs & source_refs:
+                pid = ref >> ROW_BITS
+                if pid_filter is not None and pid not in pid_filter:
+                    continue
+                if pid in skip_pids:
+                    continue
+                prov = self._partitions[pid].prov[ref & ROW_MASK]
+                if prov is None or source_id not in prov:
+                    continue  # stale superset entry
+                prov.remove_source(source_id)
+                refs = self._by_source.get(source_id)
+                if refs is not None:
+                    refs.discard(ref)
+                    if not refs:
+                        del self._by_source[source_id]
+                if prov.is_empty():
+                    self._discard_ref(ref)
+                    removed += 1
+        return removed
+
+    def merge_from(self, other: "TripleStore") -> int:
+        """Merge every fact of *other* into this store; return new-fact count.
+
+        The columnar fast path translates *other*'s dense ids into this
+        store's dictionaries through per-column memo tables, so each distinct
+        term is hashed once regardless of how many rows use it.  Merging into
+        an **empty** store adopts *other*'s column chunks wholesale through
+        the copy-on-write machinery (the serving-bootstrap / fusion-barrier
+        case) instead of re-inserting row by row.  Falls back to
+        :meth:`add_batch` for plain triple iterables.
+        """
+        if not isinstance(other, TripleStore):
+            return self.add_batch(other)
+        if not self._by_key:
+            adopted = other.snapshot()
+            self.__dict__.update(adopted.__dict__)
+            return len(self._by_key)
+        self._ensure_private()
+        before = len(self._by_key)
+        smemo: dict[int, int] = {}
+        pmemo: dict[int, int] = {}
+        rmemo: dict[int, int] = {}
+        omemo: dict[int, int] = {}
+        lmemo: dict[int, int] = {}
+
+        def translate(memo: dict[int, int], theirs: TermDict, mine: TermDict, tid: int) -> int:
+            mapped = memo.get(tid)
+            if mapped is None:
+                mapped = mine.intern(theirs.terms[tid])
+                memo[tid] = mapped
+            return mapped
+
+        for key, ref in list(other._by_key.items()):
+            partition = other._partitions[key[1]]
+            row = ref & ROW_MASK
+            my_key = (
+                translate(smemo, other._subject_terms, self._subject_terms, key[0]),
+                translate(pmemo, other._predicate_terms, self._predicate_terms, key[1]),
+                translate(rmemo, other._rid_terms, self._rid_terms, key[2]),
+                translate(pmemo, other._predicate_terms, self._predicate_terms, key[3]),
+                translate(omemo, other._object_terms, self._object_terms, key[4]),
+                translate(lmemo, other._locale_terms, self._locale_terms, key[5]),
+            )
+            self._insert_ids(
+                my_key, partition.predicate, partition.objs[row], partition.prov[row].references
+            )
+        return len(self._by_key) - before
+
+    def project(
+        self,
+        subjects: Iterable[str] | None = None,
+        predicates: Iterable[str] | None = None,
+    ) -> "TripleStore":
+        """Return a new store restricted to the given subjects and/or predicates.
+
+        Filtering happens on dense ids before any triple is materialized;
+        omitted filters match everything.
+        """
+        subject_ids = None
+        if subjects is not None:
+            ids = (self._subject_terms.id_of(s) for s in subjects)
+            subject_ids = {sid for sid in ids if sid is not None}
+        partition_ids = None
+        if predicates is not None:
+            ids = (self._predicate_terms.id_of(p) for p in predicates)
+            partition_ids = {pid for pid in ids if pid is not None}
+        result = TripleStore()
+        for key, ref in self._by_key.items():
+            if subject_ids is not None and key[0] not in subject_ids:
+                continue
+            if partition_ids is not None and key[1] not in partition_ids:
+                continue
+            partition = self._partitions[key[1]]
+            row = ref & ROW_MASK
+            result._upsert(
+                self._subject_terms.terms[key[0]],
+                partition.predicate,
+                self._rid_terms.terms[key[2]],
+                self._predicate_terms.terms[key[3]],
+                partition.objs[row],
+                self._locale_terms.terms[key[5]],
+                partition.prov[row].references,
+            )
+        return result
+
+    def scan_tuples(self) -> Iterator[tuple]:
+        """Insertion-ordered ``(subject, predicate, relationship_predicate, object)``
+        scan without materializing triples — the graph-shaped hot-loop feed."""
+        subject_terms = self._subject_terms.terms
+        predicate_terms = self._predicate_terms.terms
+        for key, ref in self._by_key.items():
+            partition = self._partitions[key[1]]
+            row = ref & ROW_MASK
+            yield (
+                subject_terms[partition.subj[row]],
+                partition.predicate,
+                predicate_terms[partition.rpred[row]],
+                partition.objs[row],
+            )
+
+    def scan_subject(self, subject: str) -> Iterator[tuple[str, bool, Value]]:
+        """Unordered ``(predicate, is_composite, object)`` scan of one
+        subject's facts, without materializing triples — for liveness and
+        type checks that don't care about fact order."""
+        sid = self._subject_terms.id_of(subject)
+        if sid is None:
+            return
+        for ref in self._by_subject.get(sid, ()):
+            partition = self._partitions[ref >> ROW_BITS]
+            row = ref & ROW_MASK
+            yield (
+                partition.predicate,
+                partition.rid[row] != self._none_rid,
+                partition.objs[row],
+            )
+
+    def rows_about(self, subject: str) -> list[dict]:
+        """Relational rows of every fact about *subject*, in
+        :meth:`facts_about` order, built straight from the columns."""
+        sid = self._subject_terms.id_of(subject)
+        refs = self._by_subject.get(sid) if sid is not None else None
+        if not refs:
+            return []
+        return [self._row_of(ref) for ref in sorted(refs, key=self._repr_of)]
+
+    def iter_subject_groups(self) -> Iterator[tuple[str, list[ExtendedTriple]]]:
+        """Yield ``(subject, facts)`` for every subject in sorted order, with
+        facts in :meth:`facts_about` order — the entity-materialization feed."""
+        by_name = sorted(
+            (self._subject_terms.terms[sid], sid) for sid in self._by_subject
+        )
+        for subject, sid in by_name:
+            yield subject, list(self._facts_of_sid(sid))
 
     # ------------------------------------------------------------------ #
     # lookup
     # ------------------------------------------------------------------ #
     def facts_about(self, subject: str) -> list[ExtendedTriple]:
         """Return all facts whose subject is *subject*."""
-        return [self._by_key[key] for key in sorted(self._by_subject.get(subject, ()), key=repr)]
+        sid = self._subject_terms.id_of(subject)
+        if sid is None:
+            return []
+        return list(self._facts_of_sid(sid))
+
+    def _facts_of_sid(self, sid: int) -> list[ExtendedTriple]:
+        """Materialized facts of one subject id, cached between mutations.
+
+        Callers must copy before handing the list out (returned lists are
+        caller-owned in the legacy contract)."""
+        cached = self._facts_cache.get(sid)
+        if cached is None:
+            refs = self._by_subject.get(sid)
+            if not refs:
+                return []
+            cached = [self._materialize(ref) for ref in sorted(refs, key=self._repr_of)]
+            self._facts_cache[sid] = cached
+        return cached
 
     def facts_with_predicate(self, predicate: str) -> list[ExtendedTriple]:
         """Return all facts using *predicate*."""
-        return [self._by_key[key] for key in sorted(self._by_predicate.get(predicate, ()), key=repr)]
+        pid = self._predicate_terms.id_of(predicate)
+        partition = self._partitions.get(pid) if pid is not None else None
+        if partition is None or not partition.live:
+            return []
+        refs = [pack_ref(pid, row) for row in partition.live_rows()]
+        refs.sort(key=self._repr_of)
+        return [self._materialize(ref) for ref in refs]
 
     def facts_with_object(self, obj: Value) -> list[ExtendedTriple]:
         """Return all facts whose object equals *obj* (literal or entity id)."""
         try:
-            keys = self._by_object.get(obj, set())
+            oid = self._object_terms.id_of(obj)
         except TypeError:  # unhashable object value: fall back to a scan
             return [t for t in self if t.obj == obj]
-        return [self._by_key[key] for key in sorted(keys, key=repr)]
+        refs = self._by_object.get(oid) if oid is not None else None
+        if not refs:
+            return []
+        return [self._materialize(ref) for ref in sorted(refs, key=self._repr_of)]
 
     def value_of(self, subject: str, predicate: str) -> Value | None:
-        """Return one object for ``(subject, predicate)`` or ``None``."""
-        for triple in self.facts_about(subject):
-            if triple.predicate == predicate and not triple.is_composite:
-                return triple.obj
+        """Return one object for ``(subject, predicate)`` or ``None``.
+
+        Served from the ``(subject, predicate)`` composite index — wide
+        entities no longer pay a scan over their unrelated facts.
+        """
+        for ref in self._composite_index_refs(subject, predicate):
+            partition = self._partitions[ref >> ROW_BITS]
+            row = ref & ROW_MASK
+            if partition.rid[row] == self._none_rid:
+                return partition.objs[row]
         return None
 
     def values_of(self, subject: str, predicate: str) -> list[Value]:
         """Return every object asserted for ``(subject, predicate)``."""
-        return [
-            t.obj
-            for t in self.facts_about(subject)
-            if t.predicate == predicate and not t.is_composite
-        ]
+        values = []
+        for ref in self._composite_index_refs(subject, predicate):
+            partition = self._partitions[ref >> ROW_BITS]
+            row = ref & ROW_MASK
+            if partition.rid[row] == self._none_rid:
+                values.append(partition.objs[row])
+        return values
 
     def relationship_facts(
         self, subject: str, predicate: str
     ) -> dict[str, list[ExtendedTriple]]:
         """Group composite facts of ``(subject, predicate)`` by relationship id."""
-        grouped: dict[str, list[ExtendedTriple]] = defaultdict(list)
-        for triple in self.facts_about(subject):
-            if triple.predicate == predicate and triple.is_composite:
-                grouped[triple.relationship_id].append(triple)
-        return dict(grouped)
+        grouped: dict[str, list[ExtendedTriple]] = {}
+        for ref in self._composite_index_refs(subject, predicate):
+            partition = self._partitions[ref >> ROW_BITS]
+            row = ref & ROW_MASK
+            rid = partition.rid[row]
+            if rid != self._none_rid:
+                relationship_id = self._rid_terms.terms[rid]
+                grouped.setdefault(relationship_id, []).append(self._materialize(ref))
+        return grouped
 
     def subjects(self) -> set[str]:
         """Return the set of all subject identifiers."""
-        return {s for s, keys in self._by_subject.items() if keys}
+        return {self._subject_terms.terms[sid] for sid in self._by_subject}
 
     def predicates(self) -> set[str]:
         """Return the set of all predicates in use."""
-        return {p for p, keys in self._by_predicate.items() if keys}
+        return {p.predicate for p in self._partitions.values() if p.live}
 
     def entity_count(self) -> int:
         """Number of distinct subjects (entities) in the store."""
-        return len(self.subjects())
+        return len(self._by_subject)
 
     def fact_count(self) -> int:
         """Number of distinct facts in the store."""
@@ -301,65 +655,255 @@ class TripleStore:
         return TripleStore(t.copy() for t in self if predicate_fn(t))
 
     def snapshot(self) -> "TripleStore":
-        """Return a deep copy of the store (used for versioned analytics)."""
-        return TripleStore(t.copy() for t in self)
+        """Return an independent view of the store (used for versioned analytics).
+
+        Copy-on-write: column chunks and indexes are shared with the original
+        until either side mutates, so a snapshot costs one provenance copy per
+        fact instead of a deep copy of every triple.
+        """
+        clone = TripleStore.__new__(TripleStore)
+        clone._subject_terms = self._subject_terms
+        clone._predicate_terms = self._predicate_terms
+        clone._rid_terms = self._rid_terms
+        clone._locale_terms = self._locale_terms
+        clone._object_terms = self._object_terms
+        clone._none_rid = self._none_rid
+        clone._none_rpred = self._none_rpred
+        clone._partitions = {
+            pid: partition.cow_clone() for pid, partition in self._partitions.items()
+        }
+        clone._by_key = self._by_key
+        clone._by_subject = self._by_subject
+        clone._by_object = self._by_object
+        clone._by_source = self._by_source
+        clone._facts_cache = {}  # the clone materializes its own views
+        clone._cow = True
+        self._cow = True
+        return clone
 
     def to_rows(self) -> list[dict]:
         """Serialize the whole store to relational rows."""
-        return [t.to_row() for t in self]
+        return [self._row_of(ref) for ref in self._by_key.values()]
 
     def canonical_rows(self) -> list[tuple]:
         """Canonical content of the store: every fact with its provenance.
 
         Sorted, hashable, and independent of insertion order — two stores are
         byte-equivalent (facts *and* per-source provenance) exactly when their
-        canonical rows are equal.  The parallel-construction equivalence suite
-        and the CONSTRUCT benchmark compare stores through this one
-        definition.
+        canonical rows are equal.  The parallel-construction and columnar
+        equivalence suites and the CONSTRUCT benchmark compare stores through
+        this one definition.
         """
-        return sorted(
-            (
-                repr(triple.key()),
-                tuple(
-                    sorted(
-                        (ref.source_id, ref.trust)
-                        for ref in triple.provenance.references
-                    )
-                ),
+        rows = []
+        for ref in self._by_key.values():
+            prov = self._partitions[ref >> ROW_BITS].prov[ref & ROW_MASK]
+            rows.append(
+                (
+                    self._repr_of(ref),
+                    tuple(sorted((r.source_id, r.trust) for r in prov.references)),
+                )
             )
-            for triple in self
-        )
+        rows.sort()
+        return rows
 
     @classmethod
     def from_rows(cls, rows: Iterable[dict]) -> "TripleStore":
         """Deserialize a store from rows produced by :meth:`to_rows`."""
-        return cls(ExtendedTriple.from_row(row) for row in rows)
+        store = cls()
+        store.add_rows(rows)
+        return store
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _index_object(self, triple: ExtendedTriple, key: tuple) -> None:
-        try:
-            self._by_object[triple.obj].add(key)
-        except TypeError:
-            # Unhashable literal objects are rare; they are still retrievable
-            # via full scans, just not via the object index.
-            pass
+    def _ensure_private(self) -> None:
+        """Copy shared store-level indexes before the first post-snapshot
+        mutation (partition chunks are copied per-partition on demand)."""
+        if not self._cow:
+            return
+        self._by_key = dict(self._by_key)
+        self._by_subject = {sid: set(refs) for sid, refs in self._by_subject.items()}
+        self._by_object = {oid: set(refs) for oid, refs in self._by_object.items()}
+        self._by_source = {src: set(refs) for src, refs in self._by_source.items()}
+        self._cow = False
 
-    def _discard_key(self, key: tuple) -> bool:
-        triple = self._by_key.pop(key, None)
-        if triple is None:
-            return False
-        self._by_subject[triple.subject].discard(key)
-        self._by_predicate[triple.predicate].discard(key)
-        try:
-            self._by_object[triple.obj].discard(key)
-        except TypeError:
-            pass
-        return True
+    def _upsert_triple(self, triple: ExtendedTriple) -> int:
+        return self._upsert(
+            triple.subject,
+            triple.predicate,
+            triple.relationship_id,
+            triple.relationship_predicate,
+            triple.obj,
+            triple.locale,
+            triple.provenance.references,
+        )
+
+    def _upsert(
+        self,
+        subject: str,
+        predicate: str,
+        relationship_id: str | None,
+        relationship_predicate: str | None,
+        obj: Value,
+        locale: str,
+        references: list,
+    ) -> int:
+        # Intern the object first: an unhashable value raises TypeError before
+        # anything is modified, as the legacy key-tuple dict did.
+        key = (
+            self._subject_terms.intern(subject),
+            self._predicate_terms.intern(predicate),
+            self._rid_terms.intern(relationship_id),
+            self._predicate_terms.intern(relationship_predicate),
+            self._object_terms.intern(obj),
+            self._locale_terms.intern(locale),
+        )
+        return self._insert_ids(key, predicate, obj, references)
+
+    def _insert_ids(self, key: tuple, predicate: str, obj: Value, references: list) -> int:
+        """Insert or merge one id-encoded fact; the caller holds privacy."""
+        ref = self._by_key.get(key)
+        if ref is not None:
+            prov = self._partitions[key[1]].prov[ref & ROW_MASK]
+            for r in references:
+                prov.add(r.source_id, r.trust)
+                self._by_source.setdefault(r.source_id, set()).add(ref)
+            return ref
+        pid = key[1]
+        partition = self._partitions.get(pid)
+        if partition is None:
+            partition = self._partitions[pid] = PredicatePartition(pid, predicate)
+        else:
+            partition.ensure_private()
+        row = partition.alloc(
+            key[0], key[2], key[3], key[4], key[5], obj, Provenance(list(references))
+        )
+        ref = pack_ref(pid, row)
+        self._by_key[key] = ref
+        self._by_subject.setdefault(key[0], set()).add(ref)
+        self._by_object.setdefault(key[4], set()).add(ref)
+        for r in references:
+            self._by_source.setdefault(r.source_id, set()).add(ref)
+        self._facts_cache.pop(key[0], None)
+        return ref
+
+    def _key_ids(self, triple: ExtendedTriple) -> tuple | None:
+        """Id-encode *triple*'s key, or ``None`` when any term is unknown.
+
+        Raises ``TypeError`` for unhashable objects (legacy parity)."""
+        oid = self._object_terms.id_of(triple.obj)
+        sid = self._subject_terms.id_of(triple.subject)
+        pid = self._predicate_terms.id_of(triple.predicate)
+        rid = self._rid_terms.id_of(triple.relationship_id)
+        rpid = self._predicate_terms.id_of(triple.relationship_predicate)
+        lid = self._locale_terms.id_of(triple.locale)
+        if oid is None or sid is None or pid is None or rid is None or rpid is None or lid is None:
+            return None
+        return (sid, pid, rid, rpid, oid, lid)
+
+    def _discard_ref(self, ref: int) -> None:
+        """Remove one live row; the caller holds store-level privacy."""
+        pid, row = ref >> ROW_BITS, ref & ROW_MASK
+        partition = self._partitions[pid]
+        sid = partition.subj[row]
+        oid = partition.obj_ids[row]
+        key = (sid, pid, partition.rid[row], partition.rpred[row], oid, partition.loc[row])
+        del self._by_key[key]
+        self._facts_cache.pop(sid, None)
+        refs = self._by_subject.get(sid)
+        if refs is not None:
+            refs.discard(ref)
+            if not refs:
+                del self._by_subject[sid]
+        refs = self._by_object.get(oid)
+        if refs is not None:
+            refs.discard(ref)
+            if not refs:
+                del self._by_object[oid]
+        prov = partition.prov[row]
+        for r in prov.references:
+            refs = self._by_source.get(r.source_id)
+            if refs is not None:
+                refs.discard(ref)
+                if not refs:
+                    del self._by_source[r.source_id]
+        partition.ensure_private()
+        partition.release(row)
+
+    def _composite_index_refs(self, subject: str, predicate: str) -> list[int]:
+        """Refs of ``(subject, predicate)`` in :meth:`facts_about` order, from
+        the partition's composite index."""
+        sid = self._subject_terms.id_of(subject)
+        pid = self._predicate_terms.id_of(predicate)
+        if sid is None or pid is None:
+            return []
+        partition = self._partitions.get(pid)
+        if partition is None:
+            return []
+        rows = partition.by_subject.get(sid)
+        if not rows:
+            return []
+        return sorted((pack_ref(pid, row) for row in rows), key=self._repr_of)
+
+    def _materialize(self, ref: int) -> ExtendedTriple:
+        """The cached :class:`ExtendedTriple` view of one live row.
+
+        The view shares the store's live ``Provenance`` object so that
+        in-place provenance edits made through it (fusion retracts) are
+        visible to the store, matching the legacy stored-instance behaviour.
+        """
+        partition = self._partitions[ref >> ROW_BITS]
+        row = ref & ROW_MASK
+        shim = partition.shims[row]
+        if shim is None:
+            shim = ExtendedTriple.__new__(ExtendedTriple)
+            shim.subject = self._subject_terms.terms[partition.subj[row]]
+            shim.predicate = partition.predicate
+            shim.obj = partition.objs[row]
+            shim.relationship_id = self._rid_terms.terms[partition.rid[row]]
+            shim.relationship_predicate = self._predicate_terms.terms[partition.rpred[row]]
+            shim.locale = self._locale_terms.terms[partition.loc[row]]
+            shim.provenance = partition.prov[row]
+            partition.shims[row] = shim
+        return shim
+
+    def _repr_of(self, ref: int) -> str:
+        """``repr`` of the row's key tuple, cached per row — the sort key of
+        every ordered lookup (identical to the legacy ``sorted(keys, key=repr)``)."""
+        partition = self._partitions[ref >> ROW_BITS]
+        row = ref & ROW_MASK
+        cached = partition.reprs[row]
+        if cached is None:
+            cached = repr(
+                (
+                    self._subject_terms.terms[partition.subj[row]],
+                    partition.predicate,
+                    self._rid_terms.terms[partition.rid[row]],
+                    self._predicate_terms.terms[partition.rpred[row]],
+                    partition.objs[row],
+                    self._locale_terms.terms[partition.loc[row]],
+                )
+            )
+            partition.reprs[row] = cached
+        return cached
+
+    def _row_of(self, ref: int) -> dict:
+        partition = self._partitions[ref >> ROW_BITS]
+        row = ref & ROW_MASK
+        prov = partition.prov[row]
+        return {
+            "subject": self._subject_terms.terms[partition.subj[row]],
+            "predicate": partition.predicate,
+            "r_id": self._rid_terms.terms[partition.rid[row]],
+            "r_predicate": self._predicate_terms.terms[partition.rpred[row]],
+            "object": partition.objs[row],
+            "locale": self._locale_terms.terms[partition.loc[row]],
+            "sources": [r.source_id for r in prov.references],
+            "trust": [r.trust for r in prov.references],
+        }
 
     def __iter__(self) -> Iterator[ExtendedTriple]:
-        return iter(list(self._by_key.values()))
+        return iter([self._materialize(ref) for ref in self._by_key.values()])
 
     def __len__(self) -> int:
         return len(self._by_key)
@@ -367,4 +911,5 @@ class TripleStore:
     def __contains__(self, triple: object) -> bool:
         if not isinstance(triple, ExtendedTriple):
             return False
-        return triple.key() in self._by_key
+        key = self._key_ids(triple)
+        return key is not None and key in self._by_key

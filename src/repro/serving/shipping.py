@@ -49,8 +49,18 @@ class ShipmentBatch:
     rows: tuple[dict, ...] = ()
 
     def rows_by_subject(self) -> dict[str, dict]:
-        """The batch's rows keyed by subject."""
-        return {row["subject"]: row for row in self.rows}
+        """The batch's rows keyed by subject.
+
+        Memoized: the same batch object fans out to every subscribed replica,
+        so the mapping is built once instead of once per replica apply.  The
+        cache slips past the frozen dataclass via ``__dict__``; batch rows are
+        never mutated after publication.
+        """
+        cached = self.__dict__.get("_rows_by_subject")
+        if cached is None:
+            cached = {row["subject"]: row for row in self.rows}
+            self.__dict__["_rows_by_subject"] = cached
+        return cached
 
 
 class ReplicationBus:
