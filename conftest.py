@@ -30,7 +30,8 @@ def capped_runs(runs: int, ci_cap: int) -> int:
 #: op_seed/live_seed/fleet_seed drive tests/test_view_invariants.py,
 #: qr_seed/ae_seed drive tests/test_query_router.py, construct_seed drives
 #: tests/test_construction_parallel.py, store_seed drives
-#: tests/test_model_triples_columnar.py.  The heavyweight caps exist because
+#: tests/test_model_triples_columnar.py, kgq_seed drives
+#: tests/test_live_executor_vectorized.py.  The heavyweight caps exist because
 #: those sequences spin up serving-fleet worker threads (fleet_seed,
 #: qr_seed), audit full checksum maps per round (ae_seed), or run the full
 #: linking pipeline twice per sequence (construct_seed).
@@ -42,6 +43,7 @@ SEED_FIXTURES = {
     "ae_seed": 30,
     "construct_seed": 40,
     "store_seed": None,
+    "kgq_seed": None,
 }
 
 

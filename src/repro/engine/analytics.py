@@ -37,6 +37,25 @@ class Relation:
     def __len__(self) -> int:
         return len(self.rows)
 
+    @classmethod
+    def from_columns(cls, name: str, columns: dict[str, list]) -> "Relation":
+        """Build a relation from parallel column lists (batch construction).
+
+        The batch idiom of the columnar store applied to the warehouse: join
+        build sides assemble from whole columns in one zip instead of one
+        dict append per source row.  All columns must have equal length.
+        """
+        if not columns:
+            return cls(name, [])
+        names = list(columns)
+        if len({len(columns[column]) for column in names}) > 1:
+            raise StoreError(f"relation {name!r} needs equal-length columns")
+        rows = [
+            dict(zip(names, values))
+            for values in zip(*(columns[column] for column in names))
+        ]
+        return cls(name, rows)
+
     def columns(self) -> list[str]:
         """Union of column names across rows."""
         seen: set[str] = set()
@@ -240,6 +259,40 @@ class AnalyticsStore:
         self.rows_scanned += len(rows)
         return Relation(predicate, rows)
 
+    def predicate_columns(self, predicate: str) -> tuple[list[str], list[object]]:
+        """Parallel ``(subjects, objects)`` columns of one predicate.
+
+        Column form of :meth:`predicate_relation` — same pairs, same index
+        order, same ``rows_scanned`` accounting — feeding
+        :meth:`Relation.from_columns` join build sides without materializing
+        a dict per pair first.
+        """
+        index = self._by_predicate.get(predicate, {})
+        subjects: list[str] = []
+        objects: list[object] = []
+        for subject, values in index.items():
+            subjects.extend([subject] * len(values))
+            objects.extend(values)
+        self.rows_scanned += len(subjects)
+        return subjects, objects
+
+    def grouped_predicate_relation(self, predicate: str, column_name: str) -> Relation:
+        """Per-subject collapsed relation of one predicate, from the index.
+
+        Produces exactly ``predicate_relation(predicate).group_by(["subject"],
+        {column_name: collapse})`` — the per-predicate index is already
+        grouped by subject, so the pair rows and the regroup are skipped
+        entirely.  ``rows_scanned`` still counts the underlying pairs.
+        """
+        index = self._by_predicate.get(predicate, {})
+        rows = []
+        scanned = 0
+        for subject, values in index.items():
+            scanned += len(values)
+            rows.append({"subject": subject, column_name: _collapse(values)})
+        self.rows_scanned += scanned
+        return Relation(f"{predicate}_grouped", rows)
+
     def name_relation(self) -> Relation:
         """Relation ``(subject, display_name)`` for every named subject."""
         rows = [
@@ -259,22 +312,34 @@ class AnalyticsStore:
     # schematized entity views (optimized, hash-join based)
     # -------------------------------------------------------------- #
     def entity_view(self, spec: EntityViewSpec) -> Relation:
-        """Compute a schematized entity-centric view using hash joins."""
+        """Compute a schematized entity-centric view using hash joins.
+
+        Join build sides assemble from whole index columns
+        (:meth:`predicate_columns` into :meth:`Relation.from_columns`) and
+        literal predicate columns come pre-grouped from the index
+        (:meth:`grouped_predicate_relation`) — the row output, join plan, and
+        ``rows_scanned`` / ``joins_executed`` accounting are identical to the
+        row-at-a-time build, pair-row materialization is not.
+        """
         subjects = self.subjects_of_type(spec.entity_type)
-        base = Relation(spec.name, [{"subject": subject} for subject in subjects])
+        base = Relation.from_columns(spec.name, {"subject": subjects})
         self.rows_scanned += len(subjects)
 
         for predicate in spec.predicates:
-            column = self.predicate_relation(predicate).group_by(
-                ["subject"], {predicate: lambda rows: _collapse([r["object"] for r in rows])}
-            )
+            column = self.grouped_predicate_relation(predicate, predicate)
             base = base.hash_join(column, "subject", "subject", how="left")
             self.joins_executed += 1
 
-        name_relation = self.name_relation().rename({"subject": "_ref", "display_name": "_name"})
+        name_subjects = list(self._names)
+        name_values = list(self._names.values())
+        self.rows_scanned += len(name_subjects)
+        name_relation = Relation.from_columns(
+            "names", {"_ref": name_subjects, "_name": name_values}
+        )
         for column_name, reference_predicate in spec.reference_joins.items():
-            reference = self.predicate_relation(reference_predicate).rename(
-                {"object": "_ref"}
+            ref_subjects, ref_objects = self.predicate_columns(reference_predicate)
+            reference = Relation.from_columns(
+                reference_predicate, {"subject": ref_subjects, "_ref": ref_objects}
             )
             resolved = reference.hash_join(name_relation, "_ref", "_ref", how="left")
             self.joins_executed += 2
@@ -288,9 +353,13 @@ class AnalyticsStore:
             self.joins_executed += 1
 
         for column_name, (first, second) in spec.nested_joins.items():
-            first_hop = self.predicate_relation(first).rename({"object": "_mid"})
-            second_hop = self.predicate_relation(second).rename(
-                {"subject": "_mid", "object": "_far"}
+            first_subjects, first_objects = self.predicate_columns(first)
+            first_hop = Relation.from_columns(
+                first, {"subject": first_subjects, "_mid": first_objects}
+            )
+            second_subjects, second_objects = self.predicate_columns(second)
+            second_hop = Relation.from_columns(
+                second, {"_mid": second_subjects, "_far": second_objects}
             )
             two_hop = first_hop.hash_join(second_hop, "_mid", "_mid")
             self.joins_executed += 2

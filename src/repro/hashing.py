@@ -1,0 +1,27 @@
+"""Process-stable key hashing shared by the live and serving tiers.
+
+Every structure that assigns keys to partitions — the serving tier's
+consistent-hash ring, its subject-space partitions, and the live KV store's
+shards — must agree on the hash of a key **across processes and runs**.
+Python's builtin ``hash`` is salted per process (``PYTHONHASHSEED``), so it
+can never be used for placement: two processes would shard the same key
+differently, which breaks reproducible shard-layout assertions and corrupts
+routing the moment placement decisions cross a process boundary.
+
+This module is the canonical home of the stable hash; it sits below both
+``repro.live`` and ``repro.serving`` so either side can import it without
+creating a package cycle.  :mod:`repro.serving.router` re-exports it for
+existing callers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Exclusive upper bound of the ring/partition hash space (64-bit digests).
+MAX_HASH = 2**64
+
+
+def stable_hash(key: str) -> int:
+    """The 64-bit ring/partition/shard hash (stable across processes and runs)."""
+    return int.from_bytes(hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big")

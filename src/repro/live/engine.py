@@ -16,7 +16,7 @@ from repro.live.construction import EntityResolutionClient, LiveGraphConstructio
 from repro.live.context import ContextGraph
 from repro.live.curation import CurationDecision, CurationPipeline
 from repro.live.executor import QueryExecutor, QueryResult
-from repro.live.index import LiveEntityDocument, LiveIndex, view_row_document
+from repro.live.index import LiveEntityDocument, LiveIndex, view_row_documents
 from repro.live.intents import Intent, IntentHandler, default_intent_handler
 from repro.live.kgq import (
     CallQuery,
@@ -55,7 +55,11 @@ class LiveGraphEngine:
         )
         self.construction = LiveGraphConstruction(self.index, resolution_client)
         self.virtual_operators = virtual_operators or default_virtual_operators()
-        self.planner = QueryPlanner(self.virtual_operators)
+        # Cost-based seeding: the planner reads live postings sizes so the
+        # cheapest pushable condition seeds execution.
+        self.planner = QueryPlanner(
+            self.virtual_operators, selectivity=self.index.seed_selectivity
+        )
         self.executor = QueryExecutor(self.index)
         self.intents = intent_handler or default_intent_handler(self.index)
         self.context = ContextGraph()
@@ -171,8 +175,7 @@ class LiveGraphEngine:
                 )
         loaded = self.index.replace_feed(
             feed,
-            (self._view_row_document(view_name, feed, row, version, entity_type)
-             for row in rows),
+            view_row_documents(view_name, feed, rows, version, entity_type),
             version,
         )
         self._feed_revisions[feed] = revision
@@ -195,7 +198,7 @@ class LiveGraphEngine:
                     f"view artifact {view_name!r} rows need a 'subject' key to be served"
                 )
             by_subject[row["subject"]] = row
-        upserts = []
+        changed_rows = []
         deleted_ids = []
         for subject in sorted(delta.changed):
             row = by_subject.get(subject)
@@ -205,22 +208,14 @@ class LiveGraphEngine:
                 # serving it rather than serve a stale copy.
                 deleted_ids.append(f"{view_name}:{subject}")
                 continue
-            upserts.append(self._view_row_document(view_name, feed, row, version,
-                                                   entity_type))
+            changed_rows.append(row)
+        upserts = view_row_documents(view_name, feed, changed_rows, version, entity_type)
         deleted_ids.extend(f"{view_name}:{subject}" for subject in sorted(delta.deleted))
         loaded = self.index.apply_feed_delta(feed, upserts, deleted_ids, version)
         if upserts or deleted_ids:
             self.executor.invalidate_cache()
         self.view_feed_incremental_loads += 1
         return loaded
-
-    @staticmethod
-    def _view_row_document(
-        view_name: str, feed: str, row: dict, version: int, entity_type: str
-    ) -> LiveEntityDocument:
-        # Shared with the serving fleet's replicas, which must serve shipped
-        # rows byte-identically to a locally loaded view feed.
-        return view_row_document(view_name, feed, row, version, entity_type)
 
     def ingest_events(self, events: Iterable[LiveEvent], screen: bool = True) -> int:
         """Ingest streaming events, optionally screening them for curation."""

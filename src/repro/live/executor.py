@@ -1,10 +1,23 @@
 """KGQ physical-plan execution over the live index (§4.2).
 
 The executor evaluates plans produced by :class:`repro.live.planner.QueryPlanner`
-against the :class:`repro.live.index.LiveIndex`: index seeds, traversal-based
-filters, projection over multi-hop paths, limits, and a small result cache.
-Query latencies are recorded so benchmarks can report the p95 figure the paper
-quotes for the production deployment.
+against the :class:`repro.live.index.LiveIndex`.  Two execution strategies
+share exact semantics (rows, ordering, and ``candidates_examined``
+accounting — property-proven by the seeded equivalence suite):
+
+* **vectorized** (the default) — candidates stay *id sets* for as long as
+  possible: type gates are partition-membership checks, equality filters
+  resolve through inverted-index postings intersection (a probe superset
+  verified per document, so normalized-string postings can never change the
+  answer), and the remaining conditions/projections run over batched value
+  columns with one ``get_many`` per traversal hop;
+* **per-document** — the reference loop: one condition evaluation per
+  candidate document.  Kept as the semantic baseline and the comparison arm
+  of ``benchmarks/bench_kgq_executor.py`` (BENCH_KGQEXEC.json gates the
+  vectorized path at ≥3x on scan-heavy plans).
+
+Query latencies are recorded so benchmarks can report the p95 figure the
+paper quotes for the production deployment.
 """
 
 from __future__ import annotations
@@ -12,7 +25,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import KGQPlanError
 from repro.live.index import LiveEntityDocument, LiveIndex
@@ -48,7 +61,13 @@ class QueryResult:
 
 
 class QueryCache:
-    """Tiny LRU cache keyed by rendered query text."""
+    """Tiny LRU cache keyed by rendered query text.
+
+    Rows are defensively copied on both :meth:`put` and :meth:`get` (the
+    ``values`` dict of every row), so a caller mutating a returned row can
+    never poison later cache hits and a caller mutating its input rows after
+    ``put`` cannot corrupt the cached entry.
+    """
 
     def __init__(self, capacity: int = 256) -> None:
         self.capacity = capacity
@@ -56,19 +75,23 @@ class QueryCache:
         self.hits = 0
         self.misses = 0
 
+    @staticmethod
+    def _copy_rows(rows: list[QueryResultRow]) -> list[QueryResultRow]:
+        return [QueryResultRow(entity_id=row.entity_id, values=dict(row.values)) for row in rows]
+
     def get(self, key: str) -> list[QueryResultRow] | None:
-        """Cached rows for *key*, refreshing recency."""
+        """Cached rows for *key* (fresh copies), refreshing recency."""
         rows = self._entries.get(key)
         if rows is None:
             self.misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
-        return rows
+        return self._copy_rows(rows)
 
     def put(self, key: str, rows: list[QueryResultRow]) -> None:
-        """Insert rows for *key*, evicting the least-recently-used entry."""
-        self._entries[key] = rows
+        """Insert copies of *rows* for *key*, evicting the least-recently-used."""
+        self._entries[key] = self._copy_rows(rows)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -119,12 +142,49 @@ def merge_partial_results(
     )
 
 
+def _equality_probes(target: object) -> set[str]:
+    """Normalized postings keys under which a value equal to *target* may post.
+
+    The inverted index keys values by ``normalize_string`` only, while the
+    per-document ``_equal`` admits cross-type matches (``3 == 3.0``,
+    ``1 == True``, ``"3"`` vs ``3``).  The probe set covers every normalized
+    rendering such a matching value can post under, so the postings union is
+    a strict superset of the true match set — verification then prunes it
+    with exact per-document semantics.  Returns an empty set when *target*
+    is not probeable (caller falls back to the column path).
+    """
+    base = normalize_string(target)
+    if not base:
+        return set()
+    probes = {base}
+    if isinstance(target, bool):
+        # A numeric fact equal to a bool posts under its numeric rendering.
+        probes.update(("1", "1.0") if target else ("0", "0.0"))
+    elif isinstance(target, (int, float)):
+        as_float = float(target)
+        probes.add(normalize_string(as_float))
+        if as_float.is_integer():
+            probes.add(normalize_string(int(as_float)))
+        # A bool fact equals 1/0 numerically but posts under its repr.
+        if as_float == 1.0:
+            probes.add("true")
+        elif as_float == 0.0:
+            probes.add("false")
+    return probes
+
+
 class QueryExecutor:
     """Execute physical plans against the live index."""
 
-    def __init__(self, index: LiveIndex, cache: QueryCache | None = None) -> None:
+    def __init__(
+        self,
+        index: LiveIndex,
+        cache: QueryCache | None = None,
+        vectorized: bool = True,
+    ) -> None:
         self.index = index
         self.cache = cache or QueryCache()
+        self.vectorized = vectorized
         self.latencies_ms: list[float] = []
 
     # -------------------------------------------------------------- #
@@ -136,16 +196,20 @@ class QueryExecutor:
         use_cache: bool = True,
         scope: Callable[[LiveEntityDocument], bool] | None = None,
         scope_key: str = "",
+        vectorized: bool | None = None,
     ) -> QueryResult:
         """Run *plan* and return its result rows with timing.
 
         *scope* (when given) restricts execution to the documents it accepts,
         applied right after seeding and before any condition work — this is
         how a plan fragment confines a replica to its own partition of a view
-        feed.  ``candidates_examined`` counts in-scope candidates only, so the
+        feed.  ``candidates_examined`` counts in-scope candidates actually
+        examined (a LIMIT early-break stops the count with the scan), so the
         figure shows the work this executor actually did.  *scope_key* must
         uniquely identify the scope for result caching; scoped executions with
-        an empty key bypass the cache rather than poison it.
+        an empty key bypass the cache rather than poison it.  *vectorized*
+        overrides the executor's default strategy for this call — both
+        strategies produce identical rows, ordering, and accounting.
         """
         cache_key = plan.query.render()
         if scope is not None:
@@ -158,26 +222,12 @@ class QueryExecutor:
             if cached is not None:
                 latency = (time.perf_counter() - started) * 1000.0
                 self.latencies_ms.append(latency)
-                return QueryResult(rows=list(cached), latency_ms=latency, from_cache=True)
+                return QueryResult(rows=cached, latency_ms=latency, from_cache=True)
 
-        candidates = self._seed_candidates(plan)
-        if scope is not None:
-            candidates = [document for document in candidates if scope(document)]
-        examined = len(candidates)
-        survivors = []
-        for document in candidates:
-            if document.entity_type and plan.query.entity_type and (
-                document.entity_type != plan.query.entity_type
-            ):
-                continue
-            if all(self._evaluate_condition(document, f.condition) for f in plan.filters):
-                survivors.append(document)
-                if plan.limit is not None and len(survivors) >= plan.limit.limit and not plan.filters:
-                    break
-
-        if plan.limit is not None:
-            survivors = survivors[: plan.limit.limit]
-        rows = [self._project(document, plan) for document in survivors]
+        if self.vectorized if vectorized is None else vectorized:
+            rows, examined = self._execute_vectorized(plan, scope)
+        else:
+            rows, examined = self._execute_per_document(plan, scope)
         latency = (time.perf_counter() - started) * 1000.0
         self.latencies_ms.append(latency)
         if use_cache:
@@ -189,6 +239,184 @@ class QueryExecutor:
     def invalidate_cache(self) -> None:
         """Invalidate cached results after live-index updates."""
         self.cache.invalidate()
+
+    # -------------------------------------------------------------- #
+    # per-document strategy (the semantic baseline)
+    # -------------------------------------------------------------- #
+    def _execute_per_document(
+        self,
+        plan: PhysicalPlan,
+        scope: Callable[[LiveEntityDocument], bool] | None,
+    ) -> tuple[list[QueryResultRow], int]:
+        candidates = self._seed_candidates(plan)
+        if scope is not None:
+            candidates = [document for document in candidates if scope(document)]
+        query_type = plan.query.entity_type
+        limit = plan.limit.limit if plan.limit is not None else None
+        examined = 0
+        survivors = []
+        for document in candidates:
+            examined += 1
+            if document.entity_type and query_type and document.entity_type != query_type:
+                continue
+            if all(self._evaluate_condition(document, f.condition) for f in plan.filters):
+                survivors.append(document)
+                if limit is not None and len(survivors) >= limit and not plan.filters:
+                    break
+        if limit is not None:
+            survivors = survivors[:limit]
+        return [self._project(document, plan) for document in survivors], examined
+
+    # -------------------------------------------------------------- #
+    # vectorized strategy (id sets + batched columns)
+    # -------------------------------------------------------------- #
+    def _execute_vectorized(
+        self,
+        plan: PhysicalPlan,
+        scope: Callable[[LiveEntityDocument], bool] | None,
+    ) -> tuple[list[QueryResultRow], int]:
+        candidate_ids, seed_type = self._seed_ids(plan)
+        documents = self.index.get_many(candidate_ids)
+        if scope is not None:
+            candidate_ids = [
+                entity_id
+                for entity_id in candidate_ids
+                if entity_id in documents and scope(documents[entity_id])
+            ]
+        elif len(documents) != len(candidate_ids):
+            # An IndexLookup may post ids whose documents vanished.
+            candidate_ids = [entity_id for entity_id in candidate_ids if entity_id in documents]
+
+        # Type gate as partition membership: a candidate passes when it is
+        # typed as the query asks or untyped.  Seeding from the query's own
+        # type partition makes the gate a no-op.
+        query_type = plan.query.entity_type
+        typed_ids = untyped_ids = None
+        if query_type and seed_type != query_type:
+            typed_ids = self.index.kv.ids_by_type(query_type)
+            untyped_ids = self.index.kv.ids_by_type("")
+
+        limit = plan.limit.limit if plan.limit is not None else None
+        if limit is not None and not plan.filters:
+            # LIMIT early-break: walk ordered ids until the limit-th gate pass,
+            # reproducing the per-document loop's examined count exactly.
+            examined = 0
+            survivor_ids: list[str] = []
+            for entity_id in candidate_ids:
+                examined += 1
+                if typed_ids is None or entity_id in typed_ids or entity_id in untyped_ids:
+                    survivor_ids.append(entity_id)
+                    if len(survivor_ids) >= limit:
+                        break
+        else:
+            examined = len(candidate_ids)
+            if typed_ids is None:
+                survivor_ids = candidate_ids
+            else:
+                survivor_ids = [
+                    entity_id
+                    for entity_id in candidate_ids
+                    if entity_id in typed_ids or entity_id in untyped_ids
+                ]
+            survivor_ids = self._apply_filters_vectorized(plan, survivor_ids, documents)
+            if limit is not None:
+                survivor_ids = survivor_ids[:limit]
+        survivors = [documents[entity_id] for entity_id in survivor_ids]
+        return self._project_batch(survivors, plan), examined
+
+    def _seed_ids(self, plan: PhysicalPlan) -> tuple[list[str], str | None]:
+        """Ordered candidate entity ids plus the seed's type (TypeScan only)."""
+        seed = plan.seed
+        if isinstance(seed, TypeScan):
+            return sorted(self.index.kv.ids_by_type(seed.entity_type)), seed.entity_type
+        if isinstance(seed, IndexLookup):
+            predicate = seed.predicate_path[0]
+            if predicate in ("name", "alias"):
+                entity_ids = self.index.inverted.lookup_name(str(seed.value))
+            else:
+                entity_ids = self.index.inverted.lookup_value(predicate, seed.value)
+            return sorted(entity_ids), None
+        raise KGQPlanError(f"unknown seed operator {seed!r}")
+
+    def _apply_filters_vectorized(
+        self,
+        plan: PhysicalPlan,
+        candidate_ids: list[str],
+        documents: dict[str, LiveEntityDocument],
+    ) -> list[str]:
+        """Intersect the candidate id list with every filter's match set.
+
+        Single-hop equality conditions resolve through postings intersection
+        (cheapest postings first, so later verification touches the fewest
+        ids); everything else — ranges, CONTAINS, ``!=``, multi-hop paths —
+        evaluates over batched value columns.  Candidate order is preserved
+        throughout, so the survivor list matches the per-document loop.
+        """
+        if not plan.filters:
+            return candidate_ids
+        pushable = []
+        columnar = []
+        for filter_op in plan.filters:
+            condition = filter_op.condition
+            if (
+                condition.operator == "="
+                and len(condition.path) == 1
+                and isinstance(condition.value, (str, int, float, bool))
+                and _equality_probes(condition.value)
+            ):
+                pushable.append(condition)
+            else:
+                columnar.append(condition)
+        pushable.sort(
+            key=lambda condition: self.index.seed_selectivity(condition.path[0], condition.value)
+        )
+        ids = candidate_ids
+        for condition in pushable:
+            if not ids:
+                return []
+            matched = self._equality_match_ids(condition.path[0], condition.value, set(ids))
+            ids = [
+                entity_id
+                for entity_id in ids
+                if entity_id in matched
+                and self._evaluate_condition(documents[entity_id], condition)
+            ]
+        for condition in columnar:
+            if not ids:
+                return []
+            value_lists = self._walk_paths_batch(
+                [documents[entity_id] for entity_id in ids], condition.path
+            )
+            ids = [
+                entity_id
+                for entity_id, values in zip(ids, value_lists)
+                if self._match_values(values, condition.operator, condition.value)
+            ]
+        return ids
+
+    def _equality_match_ids(
+        self, predicate: str, target: object, candidate_ids: set[str]
+    ) -> set[str]:
+        """Candidates that *may* satisfy ``predicate = target``, via postings.
+
+        Unions the postings of every equality probe, plus — because a string
+        value may match by resolving to an entity whose *name* equals the
+        target — the postings of every entity id so named.  The result is a
+        superset of the true match set by construction; the caller verifies
+        each survivor with the exact per-document condition.
+        """
+        inverted = self.index.inverted
+        superset: set[str] = set()
+        for probe in _equality_probes(target):
+            superset |= inverted.value_postings(predicate, probe)
+            if predicate == "name":
+                superset |= inverted.exact_name_postings(probe)
+            for named_id in inverted.exact_name_postings(probe):
+                reference_key = normalize_string(named_id)
+                superset |= inverted.value_postings(predicate, reference_key)
+                if predicate == "name":
+                    superset |= inverted.exact_name_postings(reference_key)
+        return superset & candidate_ids
 
     # -------------------------------------------------------------- #
     # latency statistics
@@ -220,8 +448,9 @@ class QueryExecutor:
 
     def _evaluate_condition(self, document: LiveEntityDocument, condition) -> bool:
         values = self._walk_path(document, condition.path)
-        operator = condition.operator
-        target = condition.value
+        return self._match_values(values, condition.operator, condition.value)
+
+    def _match_values(self, values: list[object], operator: str, target: object) -> bool:
         for value in values:
             if operator == "=" and self._equal(value, target):
                 return True
@@ -261,6 +490,38 @@ class QueryExecutor:
                 row.values[column] = values
         return row
 
+    def _project_batch(
+        self, documents: list[LiveEntityDocument], plan: PhysicalPlan
+    ) -> list[QueryResultRow]:
+        """Batch form of :func:`_project`: one display/walk batch per column."""
+        returns = plan.project.returns
+        if not returns or any(len(path) == 0 for path in returns):
+            display = self._display_map(
+                {reference for document in documents for reference in document.references.values()}
+            )
+            rows = []
+            for document in documents:
+                row = QueryResultRow(entity_id=document.entity_id)
+                row.values["name"] = document.name
+                for predicate, values in document.facts.items():
+                    row.values[predicate] = values[0] if len(values) == 1 else list(values)
+                for predicate, reference in document.references.items():
+                    row.values.setdefault(predicate, display.get(reference, reference))
+                rows.append(row)
+            return rows
+        rows = [QueryResultRow(entity_id=document.entity_id) for document in documents]
+        for path in returns:
+            column = ".".join(path)
+            value_lists = self._walk_paths_batch(documents, path, resolve_names=True)
+            for row, values in zip(rows, value_lists):
+                if not values:
+                    row.values[column] = None
+                elif len(values) == 1:
+                    row.values[column] = values[0]
+                else:
+                    row.values[column] = values
+        return rows
+
     # -------------------------------------------------------------- #
     # path traversal
     # -------------------------------------------------------------- #
@@ -288,6 +549,65 @@ class QueryExecutor:
         if resolve_names:
             return [self._display(value) for value in current]
         return current
+
+    def _walk_paths_batch(
+        self,
+        documents: list[LiveEntityDocument],
+        path: tuple[str, ...],
+        resolve_names: bool = False,
+    ) -> list[list[object]]:
+        """Walk *path* from every document at once: one ``get_many`` per hop.
+
+        Returns one value list per input document, each identical to
+        ``_walk_path(document, path, resolve_names)``.
+        """
+        frontiers: list[list[object]] = [[document] for document in documents]
+        for predicate in path:
+            pending = {
+                item
+                for frontier in frontiers
+                for item in frontier
+                if isinstance(item, str)
+            }
+            resolved = self.index.get_many(pending) if pending else {}
+            for position, frontier in enumerate(frontiers):
+                next_values: list[object] = []
+                for item in frontier:
+                    if isinstance(item, LiveEntityDocument):
+                        doc = item
+                    elif isinstance(item, str):
+                        doc = resolved.get(item)
+                        if doc is None:
+                            if predicate == "name":
+                                next_values.append(item)
+                            continue
+                    else:
+                        continue
+                    if predicate == "name" and doc.name:
+                        next_values.append(doc.name)
+                        continue
+                    next_values.extend(doc.values(predicate))
+                frontiers[position] = next_values
+        if resolve_names:
+            display = self._display_map(
+                {item for frontier in frontiers for item in frontier if isinstance(item, str)}
+            )
+            return [
+                [display.get(item, item) if isinstance(item, str) else item for item in frontier]
+                for frontier in frontiers
+            ]
+        return frontiers
+
+    def _display_map(self, references: Iterable[str]) -> dict[str, object]:
+        """Batched `_display`: reference id -> display name where one exists."""
+        pending = set(references)
+        if not pending:
+            return {}
+        resolved = self.index.get_many(pending)
+        return {
+            reference: document.name if document.name else reference
+            for reference, document in resolved.items()
+        }
 
     def _as_document(self, value: object) -> LiveEntityDocument | None:
         if isinstance(value, LiveEntityDocument):

@@ -18,7 +18,11 @@ from typing import Iterable, Iterator
 
 from repro.engine.metadata import WatermarkMap
 from repro.errors import LiveGraphError
+from repro.hashing import stable_hash
 from repro.ml.similarity import normalize_string, tokens
+
+#: Shared immutable empty postings set (avoids allocating on every miss).
+_EMPTY_IDS: frozenset[str] = frozenset()
 
 
 @dataclass
@@ -63,47 +67,107 @@ class LiveEntityDocument:
 
 
 class GraphKVStore:
-    """Sharded key-value store of live entity documents."""
+    """Sharded key-value store of live entity documents.
+
+    Shard placement uses :func:`repro.hashing.stable_hash` — the same
+    process-stable function the serving tier's consistent-hash ring uses —
+    never Python's per-process-salted ``hash``, so the shard layout of a
+    given key set is byte-identical across runs, interpreters, and
+    ``PYTHONHASHSEED`` values.  That determinism is what lets shard layouts
+    be asserted in tests and, once replication crosses process boundaries,
+    lets two processes agree on placement without a handshake.
+
+    Reads go through a flat document mirror (one dict lookup, no hashing);
+    the shards hold the authoritative layout.  A per-type partition index
+    serves :meth:`by_type` / :meth:`ids_by_type` in time proportional to the
+    partition instead of scanning every shard — the entry point the
+    vectorized KGQ executor seeds type scans from.
+    """
 
     def __init__(self, num_shards: int = 4) -> None:
         if num_shards <= 0:
             raise LiveGraphError("the KV store needs at least one shard")
         self.num_shards = num_shards
         self._shards: list[dict[str, LiveEntityDocument]] = [dict() for _ in range(num_shards)]
+        self._documents: dict[str, LiveEntityDocument] = {}
+        # entity_type -> ids; "" holds untyped documents.
+        self._by_type: dict[str, set[str]] = defaultdict(set)
         self.reads = 0
         self.writes = 0
 
     def _shard_of(self, key: str) -> dict[str, LiveEntityDocument]:
-        return self._shards[hash(key) % self.num_shards]
+        return self._shards[stable_hash(key) % self.num_shards]
 
     def put(self, document: LiveEntityDocument) -> None:
         """Insert or merge-update a document."""
-        shard = self._shard_of(document.entity_id)
-        existing = shard.get(document.entity_id)
+        existing = self._documents.get(document.entity_id)
         if existing is None:
-            shard[document.entity_id] = document
+            self._shard_of(document.entity_id)[document.entity_id] = document
+            self._documents[document.entity_id] = document
+            self._by_type[document.entity_type].add(document.entity_id)
         else:
+            old_type = existing.entity_type
             existing.merge_update(document)
+            if existing.entity_type != old_type:
+                self._discard_type(old_type, document.entity_id)
+                self._by_type[existing.entity_type].add(document.entity_id)
         self.writes += 1
+
+    def _discard_type(self, entity_type: str, entity_id: str) -> None:
+        partition = self._by_type.get(entity_type)
+        if partition is not None:
+            partition.discard(entity_id)
+            if not partition:
+                del self._by_type[entity_type]
 
     def get(self, entity_id: str) -> LiveEntityDocument | None:
         """Point lookup by entity id."""
         self.reads += 1
-        return self._shard_of(entity_id).get(entity_id)
+        return self._documents.get(entity_id)
+
+    def get_many(self, entity_ids: Iterable[str]) -> dict[str, LiveEntityDocument]:
+        """Batched point lookups: one read operation, missing ids omitted.
+
+        The batch entry point of the vectorized executor — candidate id sets
+        resolve to documents in a single pass over the flat mirror instead of
+        one counted read (and one shard hash) per id.
+        """
+        self.reads += 1
+        documents = self._documents
+        found: dict[str, LiveEntityDocument] = {}
+        for entity_id in entity_ids:
+            document = documents.get(entity_id)
+            if document is not None:
+                found[entity_id] = document
+        return found
 
     def delete(self, entity_id: str) -> bool:
         """Remove a document; returns ``True`` when it existed."""
-        return self._shard_of(entity_id).pop(entity_id, None) is not None
+        document = self._documents.pop(entity_id, None)
+        if document is None:
+            return False
+        self._shard_of(entity_id).pop(entity_id, None)
+        self._discard_type(document.entity_type, entity_id)
+        return True
 
     def by_type(self, entity_type: str) -> list[LiveEntityDocument]:
-        """All documents of one entity type (scatter-gather over shards)."""
-        documents = []
-        for shard in self._shards:
-            documents.extend(
-                doc for doc in shard.values() if doc.entity_type == entity_type
-            )
+        """All documents of one entity type, ordered by entity id.
+
+        Served from the type partition index — cost is proportional to the
+        partition, not the store.
+        """
         self.reads += 1
-        return sorted(documents, key=lambda doc: doc.entity_id)
+        documents = self._documents
+        return [documents[entity_id] for entity_id in sorted(self._by_type.get(entity_type, ()))]
+
+    def ids_by_type(self, entity_type: str) -> set[str]:
+        """The id partition of one entity type (read-only view — do not mutate).
+
+        ``""`` addresses the untyped partition.  Returned without copying so
+        the executor can intersect candidate sets against it; callers must
+        treat it as frozen.
+        """
+        return self._by_type.get(entity_type, _EMPTY_IDS)  # type: ignore[return-value]
 
     def shard_sizes(self) -> list[int]:
         """Document count per shard (used to verify sharding balance)."""
@@ -227,33 +291,69 @@ class InvertedGraphIndex:
         self.lookups += 1
         return set(self._value_postings.get((predicate, normalize_string(value)), set()))
 
+    # -------------------------------------------------------------- #
+    # raw postings (vectorized executor entry points)
+    # -------------------------------------------------------------- #
+    def value_postings(self, predicate: str, normalized_value: str) -> set[str]:
+        """The raw ``(predicate, normalized value)`` postings set, uncopied.
+
+        Unlike :meth:`lookup_value` this takes an already-normalized value,
+        does not copy, and does not count a lookup — it is the executor's
+        set-intersection primitive, called once per equality probe per
+        condition.  Callers must treat the result as frozen.
+        """
+        return self._value_postings.get((predicate, normalized_value), _EMPTY_IDS)  # type: ignore[return-value]
+
+    def exact_name_postings(self, normalized_name: str) -> set[str]:
+        """The raw exact-name postings set, uncopied (read-only view)."""
+        return self._exact_names.get(normalized_name, _EMPTY_IDS)  # type: ignore[return-value]
+
+
+def view_row_documents(
+    view_name: str,
+    feed: str,
+    rows: Iterable[dict],
+    version: int,
+    entity_type: str = "view_row",
+) -> list[LiveEntityDocument]:
+    """Turn a batch of row-shaped view rows into serving documents.
+
+    Documents are keyed ``{view_name}:{subject}`` so several views may serve
+    rows about the same KG entity side by side; ``version`` (the LSN the rows
+    reflect) becomes the document timestamp.  Shared by the live engine's
+    view feeds and the replicated serving fleet, which must agree
+    byte-for-byte on how a shipped row is served.  Batch form: one call per
+    shipment group instead of one per row, so replicas apply shipments
+    without per-row function dispatch.
+    """
+    prefix = view_name + ":"
+    documents: list[LiveEntityDocument] = []
+    for row in rows:
+        types = row.get("types") or []
+        facts = {
+            key: list(value) if isinstance(value, (list, tuple)) else [value]
+            for key, value in row.items()
+            if key not in ("subject", "name", "types") and value not in (None, "")
+        }
+        documents.append(
+            LiveEntityDocument(
+                entity_id=prefix + str(row["subject"]),
+                entity_type=str(types[0]) if types else entity_type,
+                name=str(row.get("name", "")),
+                facts=facts,
+                source_id=feed,
+                timestamp=version,
+                is_live=False,
+            )
+        )
+    return documents
+
 
 def view_row_document(
     view_name: str, feed: str, row: dict, version: int, entity_type: str = "view_row"
 ) -> LiveEntityDocument:
-    """Turn one row of a row-shaped view artifact into a serving document.
-
-    The document is keyed ``{view_name}:{subject}`` so several views may
-    serve rows about the same KG entity side by side; ``version`` (the LSN
-    the row reflects) becomes the document timestamp.  Shared by the live
-    engine's view feeds and the replicated serving fleet, which must agree
-    byte-for-byte on how a shipped row is served.
-    """
-    types = row.get("types") or []
-    facts = {
-        key: list(value) if isinstance(value, (list, tuple)) else [value]
-        for key, value in row.items()
-        if key not in ("subject", "name", "types") and value not in (None, "")
-    }
-    return LiveEntityDocument(
-        entity_id=f"{view_name}:{row['subject']}",
-        entity_type=str(types[0]) if types else entity_type,
-        name=str(row.get("name", "")),
-        facts=facts,
-        source_id=feed,
-        timestamp=version,
-        is_live=False,
-    )
+    """Single-row convenience form of :func:`view_row_documents`."""
+    return view_row_documents(view_name, feed, (row,), version, entity_type)[0]
 
 
 def document_checksum(document: LiveEntityDocument) -> str:
@@ -408,6 +508,24 @@ class LiveIndex:
     def get(self, entity_id: str) -> LiveEntityDocument | None:
         """Point lookup by entity id."""
         return self.kv.get(entity_id)
+
+    def get_many(self, entity_ids: Iterable[str]) -> dict[str, LiveEntityDocument]:
+        """Batched point lookups (one counted read; missing ids omitted)."""
+        return self.kv.get_many(entity_ids)
+
+    def seed_selectivity(self, predicate: str, value: object) -> int:
+        """Estimated candidate count of seeding from ``predicate = value``.
+
+        Exact postings sizes, read without copying — the planner uses this to
+        seed from the cheapest pushable condition.  Name-shaped predicates
+        read the exact-name postings (what :class:`QueryExecutor`'s
+        ``IndexLookup`` resolves through); everything else reads the value
+        postings.
+        """
+        normalized = normalize_string(value)
+        if predicate in ("name", "alias"):
+            return len(self.inverted.exact_name_postings(normalized))
+        return len(self.inverted.value_postings(predicate, normalized))
 
     def __len__(self) -> int:
         return len(self.kv)

@@ -182,8 +182,16 @@ class QueryPlanner:
     #: Conditions on these single-hop predicates can seed from the name index.
     NAME_PREDICATES = ("name", "alias")
 
-    def __init__(self, virtual_operators: VirtualOperatorRegistry | None = None) -> None:
+    def __init__(
+        self,
+        virtual_operators: VirtualOperatorRegistry | None = None,
+        selectivity: "Callable[[str, object], int] | None" = None,
+    ) -> None:
         self.virtual_operators = virtual_operators or VirtualOperatorRegistry()
+        #: Optional ``(predicate, value) -> estimated candidate count`` — the
+        #: live index's postings sizes.  When wired, the seed choice is
+        #: cost-based: the smallest postings list seeds.
+        self.selectivity = selectivity
 
     def plan(self, query: Query | CallQuery) -> PhysicalPlan:
         """Compile *query* (expanding virtual operators first)."""
@@ -205,8 +213,38 @@ class QueryPlanner:
     def _choose_seed(
         self, query: Query
     ) -> tuple[IndexLookup | TypeScan, list[Condition]]:
-        """Pick the most selective pushable condition as the index seed."""
+        """Pick the most selective pushable condition as the index seed.
+
+        With a :attr:`selectivity` estimator the choice is cost-based: every
+        single-hop equality condition is scored by its estimated postings
+        size and the smallest seeds (ties prefer name-shaped predicates, then
+        query order).  Without one, the legacy heuristic applies — the first
+        pushable condition wins, name equality preferred.
+        """
         pushable_index = None
+        if self.selectivity is not None:
+            best_cost: tuple[int, int, int] | None = None
+            for index, condition in enumerate(query.conditions):
+                if condition.operator != "=" or len(condition.path) != 1:
+                    continue
+                cost = (
+                    self.selectivity(condition.path[0], condition.value),
+                    0 if condition.path[0] in self.NAME_PREDICATES else 1,
+                    index,
+                )
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    pushable_index = index
+            if pushable_index is None:
+                return TypeScan(query.entity_type), list(query.conditions)
+            chosen = query.conditions[pushable_index]
+            remaining = [c for i, c in enumerate(query.conditions) if i != pushable_index]
+            return (
+                IndexLookup(
+                    predicate_path=chosen.path, operator=chosen.operator, value=chosen.value
+                ),
+                remaining,
+            )
         for index, condition in enumerate(query.conditions):
             if condition.operator != "=":
                 continue

@@ -154,6 +154,7 @@ class QueryRouter:
         view_name: str,
         consistency: Consistency = ANY,
         use_cache: bool = True,
+        vectorized: bool | None = None,
     ) -> QueryResult:
         """Scatter *query* over the fleet's copy of *view_name* and gather.
 
@@ -161,7 +162,10 @@ class QueryRouter:
         dying between partitioning and execution re-partitions its share over
         the survivors.  The merged result is ordered by entity id and carries
         the fleet-wide ``candidates_examined`` total; ``latency_ms`` is the
-        wall-clock of the whole scatter-gather.
+        wall-clock of the whole scatter-gather.  *vectorized* overrides each
+        replica executor's strategy for this query (both strategies are
+        result-identical; the override exists so equivalence suites can run
+        the same fleet both ways).
         """
         started = time.perf_counter()
         plan = self.compile(query)
@@ -177,7 +181,11 @@ class QueryRouter:
                     raise ReplicaUnavailableError(
                         f"replica {fragment.owner!r} left the fleet mid-query"
                     )
-                partials.append(node.execute_fragment(fragment, use_cache=use_cache))
+                partials.append(
+                    node.execute_fragment(
+                        fragment, use_cache=use_cache, vectorized=vectorized
+                    )
+                )
                 self.fragments_dispatched += 1
             except ReplicaUnavailableError:
                 # The owner died after partitioning: re-partition only this

@@ -44,7 +44,7 @@ from typing import Callable
 from repro.engine.metadata import WatermarkMap
 from repro.errors import ReplicaUnavailableError, ServingError
 from repro.live.executor import QueryExecutor, QueryResult
-from repro.live.index import LiveIndex, document_checksum, view_row_document
+from repro.live.index import LiveIndex, document_checksum, view_row_documents
 from repro.live.kgq import CallQuery, Query, default_virtual_operators, parse
 from repro.live.planner import PhysicalPlan, PlanFragment, QueryPlanner
 from repro.serving.router import stable_hash
@@ -73,7 +73,9 @@ class ReplicaNode:
             raise ServingError("replica queue capacity must be positive")
         self.name = name
         self.index = LiveIndex(num_shards)
-        self.planner = QueryPlanner(default_virtual_operators())
+        self.planner = QueryPlanner(
+            default_virtual_operators(), selectivity=self.index.seed_selectivity
+        )
         self.executor = QueryExecutor(self.index)
         self.applied = WatermarkMap()            # view -> applied LSN
         self.revisions: dict[str, int] = {}      # view -> state lineage served
@@ -252,7 +254,10 @@ class ReplicaNode:
     # query surface (distributed KGQ execution)
     # -------------------------------------------------------------- #
     def execute_fragment(
-        self, fragment: PlanFragment, use_cache: bool = True
+        self,
+        fragment: PlanFragment,
+        use_cache: bool = True,
+        vectorized: bool | None = None,
     ) -> QueryResult:
         """Execute one plan fragment over this node's copy of the view.
 
@@ -261,7 +266,8 @@ class ReplicaNode:
         partition ranges — the node examines only the slice of the view it
         owns, which is what lets fleet query capacity scale with replica
         count.  Runs under the apply lock so a fragment never observes a
-        half-applied batch.  Raises
+        half-applied batch.  *vectorized* overrides the executor's strategy
+        for this fragment (both strategies are result-identical).  Raises
         :class:`~repro.errors.ReplicaUnavailableError` when the node is down.
         """
         if not self._alive:
@@ -289,18 +295,23 @@ class ReplicaNode:
                 use_cache=use_cache,
                 scope=in_partition,
                 scope_key=fragment.cache_key(),
+                vectorized=vectorized,
             )
         self.fragments_executed += 1
         return result
 
     def query(
-        self, query: str | Query | CallQuery, view_name: str | None = None
+        self,
+        query: str | Query | CallQuery,
+        view_name: str | None = None,
+        vectorized: bool | None = None,
     ) -> QueryResult:
         """Plan and execute a whole KGQ against this node's own index.
 
         The local, un-fragmented query surface: useful for single-replica
         deployments and for debugging what one node would answer on its own.
-        *view_name* (when given) restricts execution to that view's feed.
+        *view_name* (when given) restricts execution to that view's feed;
+        *vectorized* overrides the executor's strategy for this call.
         """
         if not self._alive:
             raise ReplicaUnavailableError(
@@ -319,7 +330,9 @@ class ReplicaNode:
 
             scope_key = f"feed:{view_name}"
         with self._apply_lock:
-            result = self.executor.execute(plan, scope=scope, scope_key=scope_key)
+            result = self.executor.execute(
+                plan, scope=scope, scope_key=scope_key, vectorized=vectorized
+            )
         self.local_queries += 1
         return result
 
@@ -439,9 +452,8 @@ class ReplicaNode:
             self._checkpoint()
             return
         if batch.kind == "snapshot":
-            documents = (
-                view_row_document(batch.view_name, feed, row, batch.lsn, self.entity_type)
-                for row in batch.rows
+            documents = view_row_documents(
+                batch.view_name, feed, batch.rows, batch.lsn, self.entity_type
             )
             self.index.replace_feed(feed, documents, batch.lsn)
             # Snapshots may rewind across revisions: set, don't advance.
@@ -470,10 +482,9 @@ class ReplicaNode:
             return
         rows = batch.rows_by_subject()
         delta = batch.delta
-        upserts = [
-            view_row_document(batch.view_name, feed, row, batch.lsn, self.entity_type)
-            for row in rows.values()
-        ]
+        upserts = view_row_documents(
+            batch.view_name, feed, rows.values(), batch.lsn, self.entity_type
+        )
         deleted_ids = [f"{batch.view_name}:{s}" for s in sorted(delta.deleted)]
         # A changed subject with no shipped row vanished from the artifact:
         # stop serving it rather than keep a stale copy.

@@ -20,11 +20,19 @@ or relax" answer instead of a silently stale row.
 from __future__ import annotations
 
 import bisect
-import hashlib
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.errors import ReplicaUnavailableError, ServingError, StaleReadError
+from repro.hashing import MAX_HASH, stable_hash
+
+__all__ = [
+    "ANY",
+    "Consistency",
+    "MAX_HASH",
+    "ShardRouter",
+    "stable_hash",
+]
 
 
 @dataclass(frozen=True)
@@ -56,14 +64,9 @@ class Consistency:
 #: The default level: availability first.
 ANY = Consistency.any()
 
-
-#: Exclusive upper bound of the ring/partition hash space (64-bit digests).
-MAX_HASH = 2**64
-
-
-def stable_hash(key: str) -> int:
-    """The 64-bit ring/partition hash (stable across processes and runs)."""
-    return int.from_bytes(hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big")
+# MAX_HASH and stable_hash historically lived here; they moved to
+# repro.hashing so the live KV store can shard by the same function without
+# a live -> serving package cycle.  Re-exported above for existing callers.
 
 
 class ShardRouter:

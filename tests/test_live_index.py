@@ -90,3 +90,91 @@ def test_live_index_maintains_both_structures():
     assert live.get("g1") is None
     assert live.inverted.search_name_tokens("madison arena") == set()
     assert live.upsert_many([doc("a", "A"), doc("b", "B")]) == 2
+
+def test_kv_store_shard_layout_is_process_stable():
+    """Shard placement must not depend on PYTHONHASHSEED.
+
+    The store used the builtin ``hash`` for shard placement, which Python
+    randomizes per process: two interpreters disagreed on which shard holds
+    which key, so any layout shipped across processes (replica hand-off,
+    serialized shard manifests) silently aliased.  Placement now goes through
+    :func:`repro.hashing.stable_hash` — two fresh interpreters launched with
+    *different* hash seeds must produce byte-identical layouts, matching the
+    in-process store.
+    """
+    import json
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    import repro
+
+    snippet = (
+        "import json\n"
+        "from repro.live.index import GraphKVStore, LiveEntityDocument\n"
+        "store = GraphKVStore(num_shards=8)\n"
+        "for i in range(64):\n"
+        "    store.put(LiveEntityDocument(\n"
+        "        entity_id=f'entity:{i:03d}', entity_type='thing', name=f'Entity {i}',\n"
+        "        facts={}, references={}, timestamp=1, is_live=True))\n"
+        "print(json.dumps([sorted(shard) for shard in store._shards]))\n"
+    )
+    src_dir = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    layouts = []
+    for hash_seed in ("0", "12345"):
+        env = dict(os.environ, PYTHONPATH=src_dir, PYTHONHASHSEED=hash_seed)
+        output = subprocess.run(
+            [sys.executable, "-c", snippet],
+            env=env, capture_output=True, text=True, check=True,
+        ).stdout
+        layouts.append(json.loads(output))
+    assert layouts[0] == layouts[1]
+
+    store = GraphKVStore(num_shards=8)
+    for i in range(64):
+        store.put(doc(f"entity:{i:03d}", f"Entity {i}", entity_type="thing"))
+    assert [sorted(shard) for shard in store._shards] == layouts[0]
+
+
+def test_kv_store_get_many_and_type_partitions():
+    store = GraphKVStore(num_shards=4)
+    store.put(doc("g1", "Game 1"))
+    store.put(doc("g2", "Game 2"))
+    store.put(doc("t1", "Team 1", entity_type="sports_team"))
+    store.put(doc("u1", "Untyped", entity_type=""))
+    fetched = store.get_many(["g2", "missing", "g1", "g2"])
+    assert sorted(fetched) == ["g1", "g2"]
+    assert fetched["g2"].name == "Game 2"
+    assert store.ids_by_type("sports_game") == {"g1", "g2"}
+    assert store.ids_by_type("") == {"u1"}
+    assert store.ids_by_type("absent") == frozenset()
+    assert [d.entity_id for d in store.by_type("sports_game")] == ["g1", "g2"]
+    # get_many counts one batched read, not one per id.
+    reads_before = store.reads
+    store.get_many(["g1", "g2", "t1"])
+    assert store.reads == reads_before + 1
+
+
+def test_kv_store_type_change_moves_partition():
+    store = GraphKVStore()
+    store.put(doc("x1", "Thing", entity_type="draft"))
+    assert store.ids_by_type("draft") == {"x1"}
+    store.put(doc("x1", "Thing", entity_type="published", timestamp=2))
+    assert store.ids_by_type("draft") == frozenset()     # empty partition pruned
+    assert store.ids_by_type("published") == {"x1"}
+    assert [d.entity_id for d in store.by_type("published")] == ["x1"]
+    store.delete("x1")
+    assert store.ids_by_type("published") == frozenset()
+
+
+def test_live_index_seed_selectivity_reports_postings_sizes():
+    live = LiveIndex()
+    live.upsert(doc("g1", "Alpha", facts={"status": ["final"]}))
+    live.upsert(doc("g2", "Alpha", facts={"status": ["final"]}))
+    live.upsert(doc("g3", "Beta", facts={"status": ["live"]}))
+    assert live.seed_selectivity("status", "FINAL") == 2
+    assert live.seed_selectivity("status", "live") == 1
+    assert live.seed_selectivity("name", "alpha") == 2
+    assert live.seed_selectivity("name", "Beta") == 1
+    assert live.seed_selectivity("status", "unseen") == 0

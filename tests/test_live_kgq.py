@@ -130,3 +130,38 @@ def test_planner_prefers_single_hop_equality_over_multi_hop():
     plan = planner.plan(query)
     assert isinstance(plan.seed, IndexLookup)
     assert plan.seed.predicate_path == ("genre",)
+
+
+def test_planner_cost_based_seed_picks_smallest_postings():
+    sizes = {("year", "1999"): 1, ("genre", "pop"): 40, ("name", "x"): 15}
+    planner = QueryPlanner(
+        default_virtual_operators(),
+        selectivity=lambda predicate, value: sizes.get((predicate, str(value).lower()), 0),
+    )
+    query = parse('MATCH song WHERE genre = "pop" AND year = 1999 AND name = "X"')
+    plan = planner.plan(query)
+    assert isinstance(plan.seed, IndexLookup)
+    assert plan.seed.predicate_path == ("year",)          # cheapest postings list seeds
+    assert len(plan.filters) == 2
+
+
+def test_planner_cost_based_seed_ties_prefer_name_predicates():
+    planner = QueryPlanner(
+        default_virtual_operators(), selectivity=lambda predicate, value: 7
+    )
+    plan = planner.plan(parse('MATCH song WHERE genre = "pop" AND name = "X"'))
+    assert plan.seed.predicate_path == ("name",)
+    # Without an estimator the legacy heuristic also prefers name equality —
+    # otherwise the last pushable condition wins, cost unexamined.
+    legacy = QueryPlanner(default_virtual_operators())
+    plan = legacy.plan(parse('MATCH song WHERE genre = "pop" AND year = 1999'))
+    assert plan.seed.predicate_path == ("year",)
+
+
+def test_planner_cost_based_seed_skips_non_pushable_conditions():
+    planner = QueryPlanner(
+        default_virtual_operators(), selectivity=lambda predicate, value: 0
+    )
+    plan = planner.plan(parse('MATCH song WHERE performed_by.name = "X" AND year > 3'))
+    assert isinstance(plan.seed, TypeScan)                # nothing single-hop "="
+    assert len(plan.filters) == 2

@@ -373,9 +373,9 @@ def test_replica_death_mid_query_redispatches_only_its_partition():
         victim = fleet.replicas["replica-1"]
         original = victim.execute_fragment
 
-        def dying(fragment, use_cache=True):
+        def dying(fragment, use_cache=True, **kwargs):
             fleet.kill_replica("replica-1")    # crash between scatter and apply
-            return original(fragment, use_cache=use_cache)
+            return original(fragment, use_cache=use_cache, **kwargs)
 
         victim.execute_fragment = dying
         result = fleet.query("MATCH alpha RETURN name, value", "profile_rows")
