@@ -1,0 +1,256 @@
+"""SERVE_P99 — multi-tenant front-door latency under open-loop replay.
+
+The front door (docs/frontdoor.md) is the request layer between "millions
+of users" and the replica fleet: per-tenant admission (token buckets, a
+bounded priority queue, deadlines) over scatter-gather execution on a
+bounded worker pool.  This benchmark replays realistic traffic against a
+**live** fleet and gates on the contract the paper's serving tier makes:
+
+* **open-loop arrivals** — request times are drawn from a Poisson process
+  (exponential inter-arrivals), so arrival pressure does not slow down when
+  the server does: the honest way to expose queueing delay;
+* **Zipf-distributed tenants** — tenant ranks are weighted ``1/(rank+1)^s``
+  (s = 1.1), the skew real multi-tenant traffic shows, so the head tenant's
+  flood and the tail tenants' trickle share one door;
+* **tail-latency gate** — p99 wall latency of *completed* requests
+  (queueing included) must stay under ``BENCH_FRONTDOOR_P99_MS``
+  (default 250 ms);
+* **isolation gate** — every row every tenant receives belongs to its own
+  KG slice; a single cross-tenant row fails the run;
+* **honest-refusal gate** — every non-completed request failed with a
+  *typed* admission error carrying ``retry_after``, and the admission queue
+  never exceeded its capacity (zero unbounded queueing).
+
+``FRONTDOOR_REQUESTS`` scales the replay (CI default 300; the nightly soak
+runs larger).  Writes ``BENCH_SERVE_P99.json`` (see ``write_bench_json``)
+so CI tracks the latency trajectory per commit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+
+from benchmarks.conftest import print_table, write_bench_json
+from repro.engine.metadata import MetadataStore
+from repro.engine.views import ViewCatalog, ViewDefinition, ViewDelta, ViewManager
+from repro.errors import DeadlineExceededError, OverloadedError
+from repro.serving import FrontDoor, Priority, ServingFleet
+
+NUM_TENANTS = 8
+ZIPF_EXPONENT = 1.1
+ENTITIES_PER_TENANT = 25
+REQUESTS = int(os.environ.get("FRONTDOOR_REQUESTS", "300"))
+ARRIVAL_RATE_RPS = float(os.environ.get("FRONTDOOR_ARRIVAL_RPS", "600"))
+P99_BOUND_MS = float(os.environ.get("BENCH_FRONTDOOR_P99_MS", "250"))
+MAX_CONCURRENCY = 4
+QUEUE_CAPACITY = 32
+
+PRIORITIES = (Priority.INTERACTIVE, Priority.NORMAL, Priority.BATCH)
+PRIORITY_WEIGHTS = (30, 60, 10)
+
+
+def _tenant_type(rank: int) -> str:
+    return f"seg{rank}"
+
+
+def _build_world(rng: random.Random):
+    """One shared row view whose rows are striped across tenant KG slices."""
+    entities: dict[str, dict] = {}
+    for rank in range(NUM_TENANTS):
+        for index in range(ENTITIES_PER_TENANT):
+            entities[f"s{rank}x{index:02d}"] = {
+                "type": _tenant_type(rank), "value": rng.randint(0, 99),
+            }
+
+    def row(eid: str) -> dict:
+        fields = entities[eid]
+        return {
+            "subject": eid,
+            "name": f"Entity {eid}",
+            "value": fields["value"],
+            "types": [fields["type"]],
+        }
+
+    catalog = ViewCatalog()
+
+    def create(context):
+        return {eid: row(eid) for eid in sorted(entities)}
+
+    def apply_delta(context, delta: ViewDelta):
+        artifact = dict(context.artifact("profile_rows"))
+        for eid in delta.changed:
+            artifact[eid] = row(eid)
+        for eid in delta.deleted:
+            artifact.pop(eid, None)
+        return artifact
+
+    catalog.register(ViewDefinition(
+        "profile_rows", "analytics", create=create, apply_delta=apply_delta,
+    ))
+    manager = ViewManager(
+        catalog, engines={}, metadata=MetadataStore(),
+        lsn_source=lambda: 1, entity_source=lambda: list(entities),
+    )
+    manager.materialize()
+    return entities, manager
+
+
+def _tenant_battery(rank: int) -> tuple[str, ...]:
+    kind = _tenant_type(rank)
+    return (
+        f"MATCH {kind} RETURN name, value",
+        f"MATCH {kind} WHERE value > 25 RETURN name, value",
+        f"MATCH {kind} WHERE value < 75 RETURN value LIMIT 5",
+        f'MATCH {kind} WHERE name CONTAINS "1" RETURN *',
+    )
+
+
+def _zipf_weights() -> list[float]:
+    return [1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(NUM_TENANTS)]
+
+
+async def _replay(door: FrontDoor, rng: random.Random):
+    """Open-loop Poisson replay; returns (outcomes, isolation_violations)."""
+    weights = _zipf_weights()
+    batteries = [_tenant_battery(rank) for rank in range(NUM_TENANTS)]
+    violations = 0
+    tasks: list[asyncio.Task] = []
+    clock = asyncio.get_running_loop().time
+    next_arrival = clock()
+
+    async def issue(rank: int, text: str, priority: Priority):
+        nonlocal violations
+        result = await door.query(
+            f"tenant-{rank}", text, "profile_rows", priority=priority,
+            deadline=1.0,
+        )
+        prefix = f"s{rank}x"
+        for row in result.rows:
+            if not row.entity_id.rsplit(":", 1)[-1].startswith(prefix):
+                violations += 1
+        return result
+
+    for _ in range(REQUESTS):
+        rank = rng.choices(range(NUM_TENANTS), weights=weights)[0]
+        text = rng.choice(batteries[rank])
+        priority = rng.choices(PRIORITIES, weights=PRIORITY_WEIGHTS)[0]
+        # open loop: the next arrival is scheduled regardless of completions
+        next_arrival += rng.expovariate(ARRIVAL_RATE_RPS)
+        delay = next_arrival - clock()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.create_task(issue(rank, text, priority)))
+    outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+    return outcomes, violations
+
+
+def bench_front_door_p99_under_zipf_open_loop_load(benchmark):
+    rng = random.Random(2024)
+    entities, manager = _build_world(rng)
+    fleet = ServingFleet(manager, num_replicas=3).start()
+    fleet.serve_view("profile_rows")
+    assert fleet.drain()
+    door = FrontDoor(
+        fleet, max_concurrency=MAX_CONCURRENCY, queue_capacity=QUEUE_CAPACITY,
+    )
+    for rank in range(NUM_TENANTS):
+        door.registry.register(
+            f"tenant-{rank}", views={"profile_rows"},
+            entity_types={_tenant_type(rank)},
+            rate=ARRIVAL_RATE_RPS, burst=QUEUE_CAPACITY,
+        )
+    try:
+        outcomes, violations = asyncio.run(_replay(door, rng))
+
+        completed = [o for o in outcomes if not isinstance(o, BaseException)]
+        refusals = [o for o in outcomes if isinstance(o, BaseException)]
+        untyped = [
+            error for error in refusals
+            if not isinstance(error, (OverloadedError, DeadlineExceededError))
+        ]
+        stats = door.stats()
+        latency = stats["latency"]
+        per_tenant_rows = [
+            [f"tenant-{rank}",
+             stats["tenants"].get(f"tenant-{rank}", {}).get("requests", 0),
+             stats["tenants"].get(f"tenant-{rank}", {}).get("completed", 0),
+             stats["tenants"].get(f"tenant-{rank}", {}).get("shed", 0)
+             + stats["tenants"].get(f"tenant-{rank}", {}).get("rate_limited", 0),
+             stats["tenants"].get(f"tenant-{rank}", {})
+                 .get("latency", {}).get("p99_ms", 0.0)]
+            for rank in range(NUM_TENANTS)
+        ]
+        print_table(
+            f"Front-door open-loop replay ({REQUESTS} requests, "
+            f"{NUM_TENANTS} Zipf tenants, {ARRIVAL_RATE_RPS:.0f} rps offered)",
+            ["tenant", "requests", "completed", "refused", "p99_ms"],
+            per_tenant_rows,
+        )
+        print_table(
+            "Door totals",
+            ["completed", "refused", "p50_ms", "p95_ms", "p99_ms",
+             "max_queue_depth", "isolation_violations"],
+            [[len(completed), len(refusals), latency["p50_ms"],
+              latency["p95_ms"], latency["p99_ms"],
+              stats["queue"]["max_depth"], violations]],
+        )
+
+        # the tail-latency gate: p99 of completed requests, queueing included
+        assert latency["p99_ms"] <= P99_BOUND_MS, (
+            f"p99 {latency['p99_ms']:.2f} ms exceeds the "
+            f"{P99_BOUND_MS:.0f} ms bound"
+        )
+        # the isolation gate: zero cross-tenant rows
+        assert violations == 0
+        # the honest-refusal gate: every failure is typed and quotes backoff
+        assert not untyped, untyped
+        assert all(error.retry_after >= 0.0 for error in refusals)
+        # zero unbounded queueing: depth never crossed the configured bound
+        assert stats["queue"]["max_depth"] <= QUEUE_CAPACITY
+        # accounting closes: every arrival completed or was refused, in type
+        assert len(completed) + len(refusals) == REQUESTS
+        assert stats["completed"] == len(completed)
+        # the workload actually exercised the heavy/light tenant split
+        assert stats["tenants"]["tenant-0"]["requests"] > (
+            stats["tenants"][f"tenant-{NUM_TENANTS - 1}"]["requests"]
+        )
+
+        write_bench_json("BENCH_SERVE_P99.json", {
+            "benchmark": "SERVE_P99",
+            "workload": {
+                "requests": REQUESTS,
+                "tenants": NUM_TENANTS,
+                "zipf_exponent": ZIPF_EXPONENT,
+                "offered_rps": ARRIVAL_RATE_RPS,
+                "entities": len(entities),
+                "max_concurrency": MAX_CONCURRENCY,
+                "queue_capacity": QUEUE_CAPACITY,
+            },
+            "latency_ms": dict(latency),
+            "completed": len(completed),
+            "refused": len(refusals),
+            "shed": stats["shed"],
+            "rate_limited": stats["rate_limited"],
+            "deadline_exceeded": stats["deadline_exceeded"],
+            "max_queue_depth": stats["queue"]["max_depth"],
+            "isolation_violations": violations,
+            "p99_bound_ms": P99_BOUND_MS,
+            "per_tenant_requests": {
+                tenant: tenant_stats["requests"]
+                for tenant, tenant_stats in stats["tenants"].items()
+            },
+        })
+
+        # steady-state single-request round-trip through the full door
+        async def one_round_trip():
+            return await door.query(
+                "tenant-0", _tenant_battery(0)[0], "profile_rows",
+                use_cache=False,
+            )
+
+        benchmark(lambda: asyncio.run(one_round_trip()))
+    finally:
+        door.close()
+        fleet.stop()

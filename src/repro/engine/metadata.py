@@ -26,6 +26,12 @@ A fifth namespace mirrors per-view **row-checksum digests**: a content
 digest of the view's artifact rows stamped with the LSN it was computed at.
 Anti-entropy audits record the digest they verified against so divergence
 checks are observable with the same machinery as freshness.
+
+A sixth namespace holds **serving metrics**: the latest snapshot a serving
+component (the multi-tenant front door, per component name) mirrored of its
+request counters, latency percentiles, and saturation gauges.  Snapshots are
+free-form dicts — the metrics layer owns their shape — replaced wholesale on
+every mirror so the store always answers with the freshest picture.
 """
 
 from __future__ import annotations
@@ -66,6 +72,7 @@ class MetadataStore:
     journal_marks: WatermarkMap = field(default_factory=WatermarkMap)
     replica_marks: WatermarkMap = field(default_factory=WatermarkMap)
     checksum_marks: dict[str, tuple[int, str]] = field(default_factory=dict)
+    serving_marks: dict[str, dict] = field(default_factory=dict)
     annotations: dict[str, dict] = field(default_factory=dict)
 
     # -------------------------------------------------------------- #
@@ -175,6 +182,26 @@ class MetadataStore:
     def clear_view_checksum(self, view_name: str) -> None:
         """Forget a view's checksum digest (the view was dropped or redefined)."""
         self.checksum_marks.pop(view_name, None)
+
+    # -------------------------------------------------------------- #
+    # serving metrics snapshots
+    # -------------------------------------------------------------- #
+    def update_serving_metrics(self, component: str, snapshot: dict) -> None:
+        """Replace the mirrored metrics snapshot of serving *component*.
+
+        Unlike watermarks a snapshot is not monotonic — counters only grow,
+        but gauges (queue depth, in-flight) move both ways — so the latest
+        mirror always wins wholesale.
+        """
+        self.serving_marks[component] = dict(snapshot)
+
+    def serving_metrics(self, component: str) -> dict:
+        """The last metrics snapshot *component* mirrored (empty when never)."""
+        return dict(self.serving_marks.get(component, {}))
+
+    def clear_serving_metrics(self, component: str) -> None:
+        """Forget a component's metrics snapshot (the component shut down)."""
+        self.serving_marks.pop(component, None)
 
     # -------------------------------------------------------------- #
     # annotations

@@ -384,7 +384,7 @@ class ViewState:
 
     materialized: bool = False
     artifact: object = None
-    last_built_at: float = 0.0
+    last_built_at: float = 0.0     # manager-clock stamp (monotonic by default)
     last_build_seconds: float = 0.0
     built_at_lsn: int = 0          # operation-log position the artifact reflects
     builds: int = 0
@@ -535,11 +535,18 @@ class ViewManager:
         entity_source: Callable[[], Iterable[str]] | None = None,
         max_workers: int | None = None,
         journal_limit: int = 256,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         if batch_size is not None and batch_size <= 0:
             raise ViewError("view maintenance batch_size must be positive")
         if max_workers is not None and max_workers <= 0:
             raise ViewError("view maintenance max_workers must be positive")
+        if clock is not None and not callable(clock):
+            raise ViewError("view maintenance clock must be callable")
+        # Freshness math (last_built_at, stale_views) runs on a monotonic
+        # clock: a wall-clock jump (NTP step, DST) must not mark every view
+        # stale or fresh at once, and tests can fake time without sleeping.
+        self.clock: Callable[[], float] = clock if clock is not None else time.monotonic
         self.catalog = catalog
         self.engines = engines
         self.metadata = metadata
@@ -652,7 +659,7 @@ class ViewManager:
         with self._state_lock(name):
             state.materialized = True
             state.artifact = artifact
-            state.last_built_at = time.time()
+            state.last_built_at = self.clock()
             state.last_build_seconds = elapsed
             state.built_at_lsn = max(state.built_at_lsn, self.current_lsn())
             state.builds += 1
@@ -955,7 +962,7 @@ class ViewManager:
             if artifact is not None:
                 state.artifact = artifact
                 context.artifacts[name] = artifact
-            state.last_built_at = time.time()
+            state.last_built_at = self.clock()
             state.last_build_seconds = elapsed
             if kind == "create":
                 # The rebuild's change extent is unknown to consumers — even a
@@ -1317,7 +1324,7 @@ class ViewManager:
 
     def stale_views(self, now: float | None = None) -> list[str]:
         """Views whose wall-clock freshness SLA is violated at time *now*."""
-        current = now if now is not None else time.time()
+        current = now if now is not None else self.clock()
         stale = []
         for name in self.catalog.names():
             definition = self.catalog.get(name)

@@ -119,6 +119,51 @@ class ReplicaUnavailableError(ServingError):
     """Raised when a routed read finds no live replica to serve it."""
 
 
+class FrontDoorError(ServingError):
+    """Raised by the multi-tenant serving front door (tenancy, admission)."""
+
+
+class TenantIsolationError(FrontDoorError):
+    """Raised when a tenant's request would cross its isolation boundary.
+
+    Enforced at plan time: the query names a view outside the tenant's
+    allowed set or MATCHes an entity type outside its KG slice, so the
+    request is refused before any replica sees a fragment.
+    """
+
+
+class AdmissionError(FrontDoorError):
+    """Base class for admission-control refusals.
+
+    ``retry_after`` is the front door's honest estimate (in seconds) of when
+    retrying the request has a chance of being admitted — the token bucket's
+    next-token time, or the queue's expected drain time.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class OverloadedError(AdmissionError):
+    """Raised when a request is refused or shed because the door is saturated.
+
+    Covers both per-tenant rate-limit rejections (the tenant's token bucket
+    is empty) and load shedding (the bounded admission queue is full and the
+    request is not important enough to displace a queued one, or it *was*
+    queued and a higher-priority arrival displaced it).
+    """
+
+
+class DeadlineExceededError(AdmissionError):
+    """Raised when a request's deadline expires before it can be served.
+
+    Raised on arrival when the deadline is already in the past, and while
+    queued when a slot does not free up in time — the request is removed
+    from the queue, never left waiting past its deadline.
+    """
+
+
 class ReplicaDivergenceError(ServingError):
     """Raised when an anti-entropy audit finds replica/primary divergence.
 

@@ -27,7 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-from repro.errors import KGQPlanError
+from repro.errors import KGQPlanError, LiveGraphError
 from repro.live.index import LiveEntityDocument, LiveIndex
 from repro.live.planner import IndexLookup, PhysicalPlan, TypeScan
 from repro.ml.similarity import normalize_string
@@ -70,10 +70,13 @@ class QueryCache:
     """
 
     def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise LiveGraphError("the query cache needs positive capacity")
         self.capacity = capacity
         self._entries: OrderedDict[str, list[QueryResultRow]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def _copy_rows(rows: list[QueryResultRow]) -> list[QueryResultRow]:
@@ -95,6 +98,7 @@ class QueryCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def invalidate(self) -> None:
         """Drop every cached result (called after live updates)."""

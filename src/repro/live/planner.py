@@ -158,6 +158,40 @@ class PlanFragment:
         )
 
 
+def plan_scope(plan: PhysicalPlan) -> frozenset[str]:
+    """The entity types a plan's candidate set can draw from.
+
+    KGQ's restricted expressiveness makes the scope decidable at plan time:
+    every candidate comes from the MATCH type's partition (a TypeScan seeds
+    from it directly; an IndexLookup seed is still gated by the type filter
+    during execution), so the scope is exactly the query's entity type.
+    Multi-tenant serving uses this to enforce a tenant's KG slice *before*
+    any replica sees a fragment — see
+    :class:`repro.serving.frontdoor.TenantRegistry`.
+    """
+    entity_type = plan.query.entity_type
+    return frozenset((entity_type,)) if entity_type else frozenset()
+
+
+def ensure_plan_within_types(
+    plan: PhysicalPlan, allowed_types: frozenset[str] | None
+) -> None:
+    """Raise :class:`~repro.errors.KGQPlanError` when *plan* leaves *allowed_types*.
+
+    ``None`` means the caller's slice is the whole KG (no restriction); an
+    empty set forbids every typed query.  Used by tenant-scoped planning so
+    the refusal happens at plan time, with the offending type named.
+    """
+    if allowed_types is None:
+        return
+    outside = plan_scope(plan) - allowed_types
+    if outside:
+        raise KGQPlanError(
+            f"plan touches entity types outside the allowed slice: "
+            f"{sorted(outside)} (allowed: {sorted(allowed_types)})"
+        )
+
+
 def extract_fragments(
     plan: PhysicalPlan,
     view_name: str,

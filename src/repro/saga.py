@@ -39,6 +39,7 @@ from repro.ml.nerd.service import NERDService
 from repro.model.entity import SourceEntity
 from repro.model.ontology import Ontology, default_ontology
 from repro.serving.fleet import ServingFleet
+from repro.serving.frontdoor import FrontDoor, TenantRegistry
 from repro.serving.journal_store import FileJournalBackend, JournalStore
 
 
@@ -72,6 +73,7 @@ class SagaPlatform:
         self._nerd: NERDService | None = None
         self._live: LiveGraphEngine | None = None
         self._fleet: ServingFleet | None = None
+        self._front_door: FrontDoor | None = None
 
     # -------------------------------------------------------------- #
     # source onboarding and ingestion
@@ -278,15 +280,65 @@ class SagaPlatform:
         return self._fleet
 
     def stop_serving_fleet(self) -> None:
-        """Drain and stop the serving fleet (no-op when none is running)."""
+        """Drain and stop the serving fleet (no-op when none is running).
+
+        An attached front door is closed first: the request surface must
+        stop admitting before the fleet it scatters over disappears.
+        """
         if self._fleet is None:
             return
+        self.stop_front_door()
         self._fleet.drain()
         self._fleet.stop()
         if self._live is not None:
             self._live.attach_router(None)
             self._live.attach_query_router(None)
         self._fleet = None
+
+    # -------------------------------------------------------------- #
+    # multi-tenant front door
+    # -------------------------------------------------------------- #
+    @property
+    def front_door(self) -> FrontDoor | None:
+        """The multi-tenant request front door, when one has been started."""
+        return self._front_door
+
+    def start_front_door(
+        self,
+        registry: TenantRegistry | None = None,
+        max_concurrency: int = 8,
+        queue_capacity: int = 64,
+        default_deadline: float | None = None,
+    ) -> FrontDoor:
+        """Start the multi-tenant asyncio front door over the running fleet.
+
+        Requires :meth:`start_serving_fleet` to have been called: the front
+        door admits per-tenant KGQ requests (token buckets, a bounded
+        priority admission queue, deadlines) and executes them over the
+        fleet's scatter-gather on a bounded worker pool, mirroring its
+        serving metrics into the engine's metadata store.  Tenants are
+        onboarded through ``front_door.registry.register(...)``.
+        """
+        if self._fleet is None:
+            raise ServingError("start a serving fleet before the front door")
+        if self._front_door is not None:
+            raise ServingError("a front door is already running; stop it first")
+        self._front_door = FrontDoor(
+            self._fleet,
+            registry=registry,
+            max_concurrency=max_concurrency,
+            queue_capacity=queue_capacity,
+            default_deadline=default_deadline,
+            metadata=self.graph_engine.metadata,
+        )
+        return self._front_door
+
+    def stop_front_door(self) -> None:
+        """Close the front door (no-op when none is running)."""
+        if self._front_door is None:
+            return
+        self._front_door.close()
+        self._front_door = None
 
     # -------------------------------------------------------------- #
     # metrics

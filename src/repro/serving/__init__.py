@@ -11,11 +11,23 @@ Whole KGQs scatter-gather over the same partitions through the
 :class:`QueryRouter`, and the :class:`AntiEntropyAuditor` periodically
 checksums replica state against the primary, repairing lag by journal
 replay and divergence by targeted row re-shipment.
-:class:`ServingFleet` wires all of it over one view manager.
+:class:`ServingFleet` wires all of it over one view manager, and the
+multi-tenant asyncio :class:`FrontDoor` (see ``docs/frontdoor.md``) admits,
+isolates, and observes request traffic on top of it.
 """
 
 from repro.serving.anti_entropy import AntiEntropyAuditor, AuditReport, ReplicaAudit
 from repro.serving.fleet import ServingFleet
+from repro.serving.frontdoor import (
+    AdmissionQueue,
+    FrontDoor,
+    LatencyHistogram,
+    Priority,
+    ServingMetrics,
+    TenantProfile,
+    TenantRegistry,
+    TokenBucket,
+)
 from repro.serving.journal_store import (
     FileJournalBackend,
     InMemoryJournalBackend,
@@ -30,21 +42,29 @@ from repro.serving.shipping import JournalShipper, ReplicationBus, ShipmentBatch
 
 __all__ = [
     "ANY",
+    "AdmissionQueue",
     "AntiEntropyAuditor",
     "AuditReport",
     "Consistency",
     "FileJournalBackend",
+    "FrontDoor",
     "InMemoryJournalBackend",
     "JournalBackend",
     "JournalRecord",
     "JournalShipper",
     "JournalStore",
+    "LatencyHistogram",
+    "Priority",
     "QueryRouter",
     "ReplicaAudit",
     "ReplicaNode",
     "ReplicationBus",
     "ServingFleet",
+    "ServingMetrics",
     "ShardRouter",
     "ShipmentBatch",
+    "TenantProfile",
+    "TenantRegistry",
+    "TokenBucket",
     "stable_hash",
 ]

@@ -61,13 +61,23 @@ class QueryRouter:
         self.fragments_dispatched = 0
         self.fragment_retries = 0            # re-dispatches after a mid-query death
         self.plan_cache_hits = 0
+        self.plan_cache_misses = 0           # text compiles that had to plan
+        self.plan_cache_evictions = 0        # LRU entries pushed out by capacity
         self.consistency_rejections = 0      # replicas skipped for staleness
 
     # -------------------------------------------------------------- #
     # compilation (once per query text)
     # -------------------------------------------------------------- #
-    def compile(self, query: str | Query | CallQuery) -> PhysicalPlan:
-        """Compile *query* to a physical plan, caching by query text."""
+    def compile(self, query: str | Query | CallQuery | PhysicalPlan) -> PhysicalPlan:
+        """Compile *query* to a physical plan, caching by query text.
+
+        Pre-parsed queries plan without touching the cache (their text is not
+        authoritative), and an already-compiled :class:`PhysicalPlan` passes
+        through untouched — the front door compiles through per-tenant plan
+        caches and must not re-plan per execution.
+        """
+        if isinstance(query, PhysicalPlan):
+            return query
         if not isinstance(query, str):
             return self.planner.plan(query)
         with self._plans_lock:
@@ -76,11 +86,13 @@ class QueryRouter:
                 self._plans.move_to_end(query)
                 self.plan_cache_hits += 1
                 return plan
+            self.plan_cache_misses += 1
         plan = self.planner.plan(parse(query))
         with self._plans_lock:
             self._plans[query] = plan
             while len(self._plans) > self.plan_cache_size:
                 self._plans.popitem(last=False)
+                self.plan_cache_evictions += 1
         return plan
 
     # -------------------------------------------------------------- #
@@ -150,7 +162,7 @@ class QueryRouter:
     # -------------------------------------------------------------- #
     def execute(
         self,
-        query: str | Query | CallQuery,
+        query: str | Query | CallQuery | PhysicalPlan,
         view_name: str,
         consistency: Consistency = ANY,
         use_cache: bool = True,
@@ -215,12 +227,23 @@ class QueryRouter:
     # -------------------------------------------------------------- #
     # introspection
     # -------------------------------------------------------------- #
-    def stats(self) -> dict[str, int]:
-        """Operational counters of the distributed query path."""
+    def stats(self) -> dict[str, float]:
+        """Operational counters of the distributed query path.
+
+        ``plan_cache_hit_ratio`` is hits over text compiles (0.0 before the
+        first); pre-parsed and precompiled queries bypass the cache and count
+        in neither term.
+        """
+        compiles = self.plan_cache_hits + self.plan_cache_misses
         return {
             "queries_routed": self.queries_routed,
             "fragments_dispatched": self.fragments_dispatched,
             "fragment_retries": self.fragment_retries,
             "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "plan_cache_evictions": self.plan_cache_evictions,
+            "plan_cache_hit_ratio": (
+                self.plan_cache_hits / compiles if compiles else 0.0
+            ),
             "consistency_rejections": self.consistency_rejections,
         }

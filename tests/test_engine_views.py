@@ -141,6 +141,28 @@ def test_freshness_sla_detection(monkeypatch):
     assert manager.stale_views(now=state.last_built_at + 7200) == ["fresh"]
 
 
+def test_injectable_clock_drives_staleness_without_wall_time():
+    """Build stamps and SLA checks follow the injected monotonic clock, so
+    freshness is immune to wall-clock jumps and testable without sleeping."""
+    fake = {"now": 1000.0}
+    catalog = ViewCatalog()
+    catalog.register(ViewDefinition("fresh", "analytics", lambda ctx: 1, freshness_sla=60))
+    manager = ViewManager(catalog, engines={}, clock=lambda: fake["now"])
+    manager.materialize()
+    assert manager.states["fresh"].last_built_at == 1000.0
+    assert manager.stale_views() == []
+    fake["now"] += 59.0
+    assert manager.stale_views() == []      # within the SLA on the fake clock
+    fake["now"] += 2.0
+    assert manager.stale_views() == ["fresh"]
+    fake["now"] += 100.0
+    manager.update(["e:1"])                 # a rebuild re-stamps off the clock
+    assert manager.states["fresh"].last_built_at == 1161.0
+    assert manager.stale_views() == []
+    with pytest.raises(ViewError):
+        ViewManager(catalog, engines={}, clock="not-a-clock")  # type: ignore[arg-type]
+
+
 def test_scope_must_be_callable_and_batch_size_positive():
     with pytest.raises(ViewError):
         ViewDefinition("v", "analytics", lambda ctx: 1, scope="a:*")  # type: ignore[arg-type]

@@ -408,6 +408,34 @@ def test_query_plans_compile_once_per_text():
         assert fleet.query_router.plan_cache_hits == 4
         # replica-side result caches serve repeats until an apply invalidates
         assert any(node.executor.cache.hits for node in fleet.replicas.values())
+        # stats() exposes the full plan-cache picture: misses, evictions, ratio
+        stats = fleet.query_router.stats()
+        assert stats["plan_cache_misses"] == 1
+        assert stats["plan_cache_evictions"] == 0
+        assert stats["plan_cache_hit_ratio"] == pytest.approx(4 / 5)
+    finally:
+        fleet.stop()
+
+
+def test_plan_cache_evictions_counted_and_ratio_starts_at_zero():
+    model = QueryModel()
+    seed_model(model, random.Random(23), count=4)
+    _, manager, _ = build_query_harness(model)
+    manager.materialize()
+    fleet = start_fleet(manager, num_replicas=1)
+    try:
+        router = fleet.query_router
+        assert router.stats()["plan_cache_hit_ratio"] == 0.0    # before any compile
+        router.plan_cache_size = 2
+        for text in ("MATCH alpha RETURN name", "MATCH beta RETURN name",
+                     "MATCH alpha RETURN value"):
+            fleet.query(text, "profile_rows")
+        stats = router.stats()
+        assert stats["plan_cache_misses"] == 3
+        assert stats["plan_cache_evictions"] == 1       # capacity 2, three texts
+        # the evicted text recompiles: a miss, never a stale hit
+        fleet.query("MATCH alpha RETURN name", "profile_rows")
+        assert router.stats()["plan_cache_misses"] == 4
     finally:
         fleet.stop()
 
