@@ -32,10 +32,12 @@ def capped_runs(runs: int, ci_cap: int) -> int:
 #: tests/test_construction_parallel.py, store_seed drives
 #: tests/test_model_triples_columnar.py, kgq_seed drives
 #: tests/test_live_executor_vectorized.py, fd_seed drives
-#: tests/test_front_door.py.  The heavyweight caps exist because
+#: tests/test_front_door.py, rpq_seed/rpq_fleet_seed drive
+#: tests/test_live_rpq.py.  The heavyweight caps exist because
 #: those sequences spin up serving-fleet worker threads (fleet_seed,
-#: qr_seed, fd_seed), audit full checksum maps per round (ae_seed), or run
-#: the full linking pipeline twice per sequence (construct_seed).
+#: qr_seed, fd_seed, rpq_fleet_seed), audit full checksum maps per round
+#: (ae_seed), or run the full linking pipeline twice per sequence
+#: (construct_seed).
 SEED_FIXTURES = {
     "op_seed": None,
     "live_seed": 60,
@@ -46,6 +48,8 @@ SEED_FIXTURES = {
     "store_seed": None,
     "kgq_seed": None,
     "fd_seed": 40,
+    "rpq_seed": None,
+    "rpq_fleet_seed": 30,
 }
 
 

@@ -26,13 +26,28 @@ from repro.live.kgq import (
     CallQuery,
     Condition,
     Query,
+    RpqAlt,
+    RpqConcat,
+    RpqExpr,
+    RpqLabel,
+    RpqPlus,
+    RpqStar,
     VirtualOperatorRegistry,
     default_virtual_operators,
     parse,
 )
 from repro.live.planner import PhysicalPlan, QueryPlanner
+from repro.live.rpq import (
+    Automaton,
+    IntervalIndex,
+    RpqEvaluator,
+    Witness,
+    compile_automaton,
+    naive_rpq,
+)
 
 __all__ = [
+    "Automaton",
     "CallQuery",
     "Condition",
     "ContextGraph",
@@ -46,6 +61,7 @@ __all__ = [
     "IntentAnswer",
     "IntentHandler",
     "IntentRoute",
+    "IntervalIndex",
     "InvertedGraphIndex",
     "LiveConstructionStats",
     "LiveEntityDocument",
@@ -60,9 +76,19 @@ __all__ = [
     "QueryPlanner",
     "QueryResult",
     "QueryResultRow",
+    "RpqAlt",
+    "RpqConcat",
+    "RpqEvaluator",
+    "RpqExpr",
+    "RpqLabel",
+    "RpqPlus",
+    "RpqStar",
     "VandalismDetector",
     "VirtualOperatorRegistry",
+    "Witness",
+    "compile_automaton",
     "default_intent_handler",
     "default_virtual_operators",
+    "naive_rpq",
     "parse",
 ]

@@ -30,15 +30,23 @@ from typing import Callable, Iterable, Sequence
 from repro.errors import KGQPlanError, LiveGraphError
 from repro.live.index import LiveEntityDocument, LiveIndex
 from repro.live.planner import IndexLookup, PhysicalPlan, TypeScan
+from repro.live.rpq import RpqEvaluator, Witness
 from repro.ml.similarity import normalize_string
 
 
 @dataclass
 class QueryResultRow:
-    """One result row: the matched entity plus its projected values."""
+    """One result row: the matched entity plus its projected values.
+
+    REACH answers additionally carry their provenance ``witness`` — the
+    canonical edge sequence ``((src, label, dst), ...)`` proving the row is
+    reachable from a seed (``None`` for non-REACH queries, ``()`` when the
+    row is itself a seed and the expression accepts the empty path).
+    """
 
     entity_id: str
     values: dict[str, object] = field(default_factory=dict)
+    witness: Witness | None = None
 
 
 @dataclass
@@ -80,7 +88,11 @@ class QueryCache:
 
     @staticmethod
     def _copy_rows(rows: list[QueryResultRow]) -> list[QueryResultRow]:
-        return [QueryResultRow(entity_id=row.entity_id, values=dict(row.values)) for row in rows]
+        # Witnesses are immutable tuples, so sharing them across copies is safe.
+        return [
+            QueryResultRow(entity_id=row.entity_id, values=dict(row.values), witness=row.witness)
+            for row in rows
+        ]
 
     def get(self, key: str) -> list[QueryResultRow] | None:
         """Cached rows for *key* (fresh copies), refreshing recency."""
@@ -189,6 +201,7 @@ class QueryExecutor:
         self.index = index
         self.cache = cache or QueryCache()
         self.vectorized = vectorized
+        self.rpq = RpqEvaluator(index.adjacency)
         self.latencies_ms: list[float] = []
 
     # -------------------------------------------------------------- #
@@ -201,6 +214,7 @@ class QueryExecutor:
         scope: Callable[[LiveEntityDocument], bool] | None = None,
         scope_key: str = "",
         vectorized: bool | None = None,
+        reach_feed: str = "",
     ) -> QueryResult:
         """Run *plan* and return its result rows with timing.
 
@@ -214,8 +228,15 @@ class QueryExecutor:
         an empty key bypass the cache rather than poison it.  *vectorized*
         overrides the executor's default strategy for this call — both
         strategies produce identical rows, ordering, and accounting.
+
+        *reach_feed* names the adjacency feed a REACH clause expands over:
+        ``""`` is the live graph (the engine's own documents), ``"view:X"``
+        the subject-space graph of a loaded view feed (the replica path).
+        Ignored for plans without a REACH stage.
         """
         cache_key = plan.query.render()
+        if plan.reach is not None and reach_feed:
+            cache_key = f"{cache_key} |reach@{reach_feed}"
         if scope is not None:
             if not scope_key:
                 use_cache = False
@@ -228,7 +249,9 @@ class QueryExecutor:
                 self.latencies_ms.append(latency)
                 return QueryResult(rows=cached, latency_ms=latency, from_cache=True)
 
-        if self.vectorized if vectorized is None else vectorized:
+        if plan.reach is not None:
+            rows, examined = self._execute_reach(plan, scope, vectorized, reach_feed)
+        elif self.vectorized if vectorized is None else vectorized:
             rows, examined = self._execute_vectorized(plan, scope)
         else:
             rows, examined = self._execute_per_document(plan, scope)
@@ -245,6 +268,33 @@ class QueryExecutor:
         self.cache.invalidate()
 
     # -------------------------------------------------------------- #
+    # document matching (shared by projection wrappers and REACH seeding)
+    # -------------------------------------------------------------- #
+    def match_documents(
+        self,
+        plan: PhysicalPlan,
+        scope: Callable[[LiveEntityDocument], bool] | None = None,
+        vectorized: bool | None = None,
+        apply_limit: bool = True,
+    ) -> tuple[list[LiveEntityDocument], int]:
+        """The documents *plan*'s seed/filter pipeline matches, plus examined.
+
+        This is execution up to (but excluding) projection — the REACH seed
+        phase and replica fragment seeding use it with ``apply_limit=False``,
+        because a LIMIT applies to the final answers, not the seeds.
+        """
+        limit = plan.limit.limit if apply_limit and plan.limit is not None else None
+        if self.vectorized if vectorized is None else vectorized:
+            return self._match_vectorized(plan, scope, limit)
+        return self._match_per_document(plan, scope, limit)
+
+    def project_documents(
+        self, documents: list[LiveEntityDocument], plan: PhysicalPlan
+    ) -> list[QueryResultRow]:
+        """Project *documents* through *plan*'s RETURN clause (batched)."""
+        return self._project_batch(documents, plan)
+
+    # -------------------------------------------------------------- #
     # per-document strategy (the semantic baseline)
     # -------------------------------------------------------------- #
     def _execute_per_document(
@@ -252,11 +302,20 @@ class QueryExecutor:
         plan: PhysicalPlan,
         scope: Callable[[LiveEntityDocument], bool] | None,
     ) -> tuple[list[QueryResultRow], int]:
+        limit = plan.limit.limit if plan.limit is not None else None
+        survivors, examined = self._match_per_document(plan, scope, limit)
+        return [self._project(document, plan) for document in survivors], examined
+
+    def _match_per_document(
+        self,
+        plan: PhysicalPlan,
+        scope: Callable[[LiveEntityDocument], bool] | None,
+        limit: int | None,
+    ) -> tuple[list[LiveEntityDocument], int]:
         candidates = self._seed_candidates(plan)
         if scope is not None:
             candidates = [document for document in candidates if scope(document)]
         query_type = plan.query.entity_type
-        limit = plan.limit.limit if plan.limit is not None else None
         examined = 0
         survivors = []
         for document in candidates:
@@ -269,7 +328,7 @@ class QueryExecutor:
                     break
         if limit is not None:
             survivors = survivors[:limit]
-        return [self._project(document, plan) for document in survivors], examined
+        return survivors, examined
 
     # -------------------------------------------------------------- #
     # vectorized strategy (id sets + batched columns)
@@ -279,6 +338,16 @@ class QueryExecutor:
         plan: PhysicalPlan,
         scope: Callable[[LiveEntityDocument], bool] | None,
     ) -> tuple[list[QueryResultRow], int]:
+        limit = plan.limit.limit if plan.limit is not None else None
+        survivors, examined = self._match_vectorized(plan, scope, limit)
+        return self._project_batch(survivors, plan), examined
+
+    def _match_vectorized(
+        self,
+        plan: PhysicalPlan,
+        scope: Callable[[LiveEntityDocument], bool] | None,
+        limit: int | None,
+    ) -> tuple[list[LiveEntityDocument], int]:
         candidate_ids, seed_type = self._seed_ids(plan)
         documents = self.index.get_many(candidate_ids)
         if scope is not None:
@@ -300,7 +369,6 @@ class QueryExecutor:
             typed_ids = self.index.kv.ids_by_type(query_type)
             untyped_ids = self.index.kv.ids_by_type("")
 
-        limit = plan.limit.limit if plan.limit is not None else None
         if limit is not None and not plan.filters:
             # LIMIT early-break: walk ordered ids until the limit-th gate pass,
             # reproducing the per-document loop's examined count exactly.
@@ -325,8 +393,70 @@ class QueryExecutor:
             survivor_ids = self._apply_filters_vectorized(plan, survivor_ids, documents)
             if limit is not None:
                 survivor_ids = survivor_ids[:limit]
-        survivors = [documents[entity_id] for entity_id in survivor_ids]
-        return self._project_batch(survivors, plan), examined
+        return [documents[entity_id] for entity_id in survivor_ids], examined
+
+    # -------------------------------------------------------------- #
+    # REACH strategy (RPQ expansion over the adjacency bitmaps)
+    # -------------------------------------------------------------- #
+    def _execute_reach(
+        self,
+        plan: PhysicalPlan,
+        scope: Callable[[LiveEntityDocument], bool] | None,
+        vectorized: bool | None,
+        reach_feed: str,
+    ) -> tuple[list[QueryResultRow], int]:
+        """Seed via the plan's match pipeline, expand via the RPQ evaluator.
+
+        The MATCH/WHERE stages produce the seed set (LIMIT deferred — it
+        bounds answers, not seeds); the compiled automaton expands it over
+        *reach_feed*'s adjacency; answers are fetched back as documents,
+        gated by the ``TO`` type (untyped documents pass, matching the type
+        gate everywhere else), re-scoped, ordered by entity id, truncated,
+        and projected — each row carrying its canonical witness path.
+        ``candidates_examined`` adds the product-BFS expansion count (or the
+        interval fast path's walk steps) to the seed phase's figure.
+        """
+        reach = plan.reach
+        assert reach is not None
+        seeds, examined = self.match_documents(
+            plan, scope=scope, vectorized=vectorized, apply_limit=False
+        )
+        prefix = reach_feed[5:] + ":" if reach_feed.startswith("view:") else ""
+        seed_nodes = []
+        for document in seeds:
+            entity_id = document.entity_id
+            if prefix and entity_id.startswith(prefix):
+                entity_id = entity_id[len(prefix):]
+            seed_nodes.append(entity_id)
+        answers, expanded = self.rpq.evaluate(
+            reach_feed, seed_nodes, reach.automaton, reach.closure
+        )
+        examined += expanded
+        answer_ids = [prefix + node for node in sorted(answers)]
+        documents = self.index.get_many(answer_ids)
+        survivors: list[LiveEntityDocument] = []
+        witnesses: list[Witness] = []
+        limit = plan.limit.limit if plan.limit is not None else None
+        for node, entity_id in zip(sorted(answers), answer_ids):
+            document = documents.get(entity_id)
+            if document is None:
+                continue
+            if (
+                reach.target_type
+                and document.entity_type
+                and document.entity_type != reach.target_type
+            ):
+                continue
+            if scope is not None and not scope(document):
+                continue
+            survivors.append(document)
+            witnesses.append(answers[node])
+            if limit is not None and len(survivors) >= limit:
+                break
+        rows = self._project_batch(survivors, plan)
+        for row, witness in zip(rows, witnesses):
+            row.witness = witness
+        return rows, examined
 
     def _seed_ids(self, plan: PhysicalPlan) -> tuple[list[str], str | None]:
         """Ordered candidate entity ids plus the seed's type (TypeScan only)."""

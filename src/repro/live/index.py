@@ -19,6 +19,7 @@ from typing import Iterable, Iterator
 from repro.engine.metadata import WatermarkMap
 from repro.errors import LiveGraphError
 from repro.hashing import stable_hash
+from repro.live.rpq import AdjacencyIndex
 from repro.ml.similarity import normalize_string, tokens
 
 #: Shared immutable empty postings set (avoids allocating on every miss).
@@ -398,6 +399,10 @@ class LiveIndex:
     def __init__(self, num_shards: int = 4) -> None:
         self.kv = GraphKVStore(num_shards)
         self.inverted = InvertedGraphIndex()
+        #: Per-feed, per-predicate compressed adjacency for REACH (RPQ)
+        #: evaluation — maintained in lockstep with the postings, so shipped
+        #: deltas invalidate it on the same code path.
+        self.adjacency = AdjacencyIndex()
         self.watermarks = WatermarkMap()
         self._feed_documents: dict[str, set[str]] = {}
 
@@ -419,6 +424,7 @@ class LiveIndex:
         merged = self.kv.get(document.entity_id)
         if merged is not None:
             self.inverted.index_document(merged)
+            self.adjacency.index_document(merged)
 
     def replace(self, document: LiveEntityDocument) -> None:
         """Authoritatively replace a document, discarding any prior state.
@@ -503,6 +509,7 @@ class LiveIndex:
     def delete(self, entity_id: str) -> bool:
         """Delete a document from both structures."""
         self.inverted.remove(entity_id)
+        self.adjacency.remove(entity_id)
         return self.kv.delete(entity_id)
 
     def get(self, entity_id: str) -> LiveEntityDocument | None:

@@ -12,6 +12,7 @@ Grammar (informally)::
     query      := match_query | call_query
     match_query:= 'MATCH' type_name
                   ('WHERE' condition ('AND' condition)*)?
+                  ('REACH' rpq_expr ('TO' type_name)?)?
                   ('RETURN' return_item (',' return_item)*)?
                   ('LIMIT' integer)?
     call_query := 'CALL' name '(' argument (',' argument)* ')'
@@ -20,11 +21,26 @@ Grammar (informally)::
     operator   := '=' | '!=' | '<' | '>' | 'CONTAINS'
     return_item:= path | '*'
     literal    := "double-quoted string" | number | bareword
+    rpq_expr   := rpq_concat ('|' rpq_concat)*
+    rpq_concat := rpq_postfix ('/' rpq_postfix)*
+    rpq_postfix:= rpq_atom ('*' | '+')*
+    rpq_atom   := '^'? identifier | '(' rpq_expr ')'
+
+The REACH clause is a **regular path query** (RPQ): a regex over edge labels.
+The matched entities become path seeds, the expression is compiled into an
+automaton (:mod:`repro.live.rpq`), and the answers are every entity reachable
+over a label sequence the expression accepts — alternation ``|``,
+concatenation ``/``, closure ``*``/``+``, and ``^label`` for traversing an
+edge backwards.  ``TO type`` bounds the answers to one entity type (required
+for type-sliced tenants).  Every answer row carries the concrete edge
+sequence proving reachability (its provenance witness path).
 
 Examples::
 
     MATCH country WHERE name = "Canada" RETURN head_of_state.name
     MATCH sports_game WHERE home_team.name CONTAINS "Wolves" RETURN home_score, away_score
+    MATCH district WHERE name = "Old Town" REACH part_of* TO region RETURN name
+    MATCH person WHERE name = "Ada" REACH mentor/(knows|^knows)+ TO person RETURN name
     CALL HeadOfState("Canada")
 """
 
@@ -36,7 +52,7 @@ from typing import Callable, Sequence
 
 from repro.errors import KGQSyntaxError
 
-KEYWORDS = {"MATCH", "WHERE", "AND", "RETURN", "LIMIT", "CALL", "CONTAINS"}
+KEYWORDS = {"MATCH", "WHERE", "AND", "REACH", "TO", "RETURN", "LIMIT", "CALL", "CONTAINS"}
 OPERATORS = {"=", "!=", "<", ">", "CONTAINS"}
 
 _TOKEN_PATTERN = re.compile(
@@ -50,6 +66,10 @@ _TOKEN_PATTERN = re.compile(
   | (?P<lparen>\()
   | (?P<rparen>\))
   | (?P<star>\*)
+  | (?P<plus>\+)
+  | (?P<pipe>\|)
+  | (?P<slash>/)
+  | (?P<caret>\^)
   | (?P<space>\s+)
 """,
     re.VERBOSE,
@@ -95,6 +115,75 @@ class Condition:
         return f"{'.'.join(self.path)} {self.operator} {value}"
 
 
+# ------------------------------------------------------------------ #
+# regular path expressions (the REACH clause)
+# ------------------------------------------------------------------ #
+@dataclass(frozen=True)
+class RpqLabel:
+    """One edge label; ``inverse`` traverses the edge backwards (``^label``)."""
+
+    predicate: str
+    inverse: bool = False
+
+    def render(self) -> str:
+        """Render back to REACH syntax."""
+        return ("^" if self.inverse else "") + self.predicate
+
+
+@dataclass(frozen=True)
+class RpqConcat:
+    """Concatenation: the parts must match in sequence (``a/b``)."""
+
+    parts: tuple["RpqExpr", ...]
+
+    def render(self) -> str:
+        """Render back to REACH syntax (alternation children need parens)."""
+        return "/".join(
+            f"({part.render()})" if isinstance(part, RpqAlt) else part.render()
+            for part in self.parts
+        )
+
+
+@dataclass(frozen=True)
+class RpqAlt:
+    """Alternation: any option may match (``a|b``)."""
+
+    options: tuple["RpqExpr", ...]
+
+    def render(self) -> str:
+        """Render back to REACH syntax."""
+        return "|".join(option.render() for option in self.options)
+
+
+def _render_closed(expr: "RpqExpr") -> str:
+    return expr.render() if isinstance(expr, RpqLabel) else f"({expr.render()})"
+
+
+@dataclass(frozen=True)
+class RpqStar:
+    """Kleene closure: zero or more matches of the inner expression."""
+
+    inner: "RpqExpr"
+
+    def render(self) -> str:
+        """Render back to REACH syntax."""
+        return _render_closed(self.inner) + "*"
+
+
+@dataclass(frozen=True)
+class RpqPlus:
+    """Positive closure: one or more matches of the inner expression."""
+
+    inner: "RpqExpr"
+
+    def render(self) -> str:
+        """Render back to REACH syntax."""
+        return _render_closed(self.inner) + "+"
+
+
+RpqExpr = RpqLabel | RpqConcat | RpqAlt | RpqStar | RpqPlus
+
+
 @dataclass
 class Query:
     """Parsed MATCH query."""
@@ -103,12 +192,18 @@ class Query:
     conditions: list[Condition] = field(default_factory=list)
     returns: list[tuple[str, ...]] = field(default_factory=list)   # () means '*'
     limit: int | None = None
+    reach: RpqExpr | None = None       # REACH expression (regular path query)
+    reach_type: str = ""               # TO type bound ("" = unbounded)
 
     def render(self) -> str:
         """Render back to KGQ text (useful for caching and logging)."""
         parts = [f"MATCH {self.entity_type}"]
         if self.conditions:
             parts.append("WHERE " + " AND ".join(c.render() for c in self.conditions))
+        if self.reach is not None:
+            parts.append(f"REACH {self.reach.render()}")
+            if self.reach_type:
+                parts.append(f"TO {self.reach_type}")
         if self.returns:
             rendered = ", ".join("*" if not path else ".".join(path) for path in self.returns)
             parts.append(f"RETURN {rendered}")
@@ -196,6 +291,18 @@ class Parser:
                 self._next()
                 query.conditions.append(self._parse_condition())
 
+        if self._is_keyword(self._peek(), "REACH"):
+            self._next()
+            query.reach = self._parse_rpq_expression()
+            if self._is_keyword(self._peek(), "TO"):
+                self._next()
+                type_token = self._next()
+                if type_token.kind != "ident":
+                    raise KGQSyntaxError(
+                        f"expected an entity type after TO, got {type_token.value!r}"
+                    )
+                query.reach_type = type_token.value
+
         if self._is_keyword(self._peek(), "RETURN"):
             self._next()
             query.returns.append(self._parse_return_item())
@@ -224,6 +331,50 @@ class Parser:
             raise KGQSyntaxError(f"expected an operator, got {op_token.value!r}")
         value_token = self._next()
         return Condition(path=path, operator=operator, value=self._literal_value(value_token))
+
+    # ---- REACH expressions (regular path queries) ------------------ #
+    def _parse_rpq_expression(self) -> RpqExpr:
+        options = [self._parse_rpq_concat()]
+        while self._peek() is not None and self._peek().kind == "pipe":
+            self._next()
+            options.append(self._parse_rpq_concat())
+        return options[0] if len(options) == 1 else RpqAlt(tuple(options))
+
+    def _parse_rpq_concat(self) -> RpqExpr:
+        parts = [self._parse_rpq_postfix()]
+        while self._peek() is not None and self._peek().kind == "slash":
+            self._next()
+            parts.append(self._parse_rpq_postfix())
+        return parts[0] if len(parts) == 1 else RpqConcat(tuple(parts))
+
+    def _parse_rpq_postfix(self) -> RpqExpr:
+        expr = self._parse_rpq_atom()
+        while self._peek() is not None and self._peek().kind in ("star", "plus"):
+            token = self._next()
+            expr = RpqStar(expr) if token.kind == "star" else RpqPlus(expr)
+        return expr
+
+    def _parse_rpq_atom(self) -> RpqExpr:
+        token = self._peek()
+        if token is None:
+            raise KGQSyntaxError("unexpected end of REACH expression")
+        if token.kind == "lparen":
+            self._next()
+            expr = self._parse_rpq_expression()
+            closing = self._next()
+            if closing.kind != "rparen":
+                raise KGQSyntaxError(
+                    f"expected ')' in REACH expression, got {closing.value!r}"
+                )
+            return expr
+        inverse = False
+        if token.kind == "caret":
+            self._next()
+            inverse = True
+        label = self._next()
+        if label.kind != "ident":
+            raise KGQSyntaxError(f"expected an edge label in REACH, got {label.value!r}")
+        return RpqLabel(predicate=label.value, inverse=inverse)
 
     def _parse_return_item(self) -> tuple[str, ...]:
         token = self._peek()

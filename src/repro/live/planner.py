@@ -21,7 +21,8 @@ import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import KGQPlanError
-from repro.live.kgq import CallQuery, Condition, Query, VirtualOperatorRegistry
+from repro.live.kgq import CallQuery, Condition, Query, RpqExpr, VirtualOperatorRegistry
+from repro.live.rpq import Automaton, compile_automaton, single_label_closure
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,33 @@ class LimitOp:
         return f"Limit({self.limit})"
 
 
+@dataclass(frozen=True)
+class ReachOp:
+    """Expand the surviving candidates along a compiled RPQ automaton.
+
+    The REACH expression is compiled once, at plan time, into an epsilon-free
+    :class:`~repro.live.rpq.Automaton`; evaluation is then a product
+    construction over the adjacency bitmaps (see :class:`~repro.live.rpq.
+    RpqEvaluator`).  ``closure`` marks single-label closures (``part_of*``)
+    eligible for the interval-encoding fast path.  ``target_type`` restricts
+    the answers to one entity type (the ``TO`` clause) — empty means any.
+    """
+
+    expression: RpqExpr
+    target_type: str
+    automaton: Automaton
+    closure: tuple[str, bool, bool] | None = None
+
+    def describe(self) -> str:
+        """Human-readable operator description."""
+        target = f" TO {self.target_type}" if self.target_type else ""
+        fast = ", interval-eligible" if self.closure is not None else ""
+        return (
+            f"Reach({self.expression.render()}{target}, "
+            f"states={self.automaton.num_states}{fast})"
+        )
+
+
 @dataclass
 class PhysicalPlan:
     """Ordered operator list produced by the planner."""
@@ -91,11 +119,14 @@ class PhysicalPlan:
     filters: list[FilterOp] = field(default_factory=list)
     project: ProjectOp = ProjectOp(())
     limit: LimitOp | None = None
+    reach: ReachOp | None = None
 
     def explain(self) -> list[str]:
         """EXPLAIN-style rendering of the plan."""
         steps = [self.seed.describe()]
         steps.extend(op.describe() for op in self.filters)
+        if self.reach is not None:
+            steps.append(self.reach.describe())
         steps.append(self.project.describe())
         if self.limit is not None:
             steps.append(self.limit.describe())
@@ -168,9 +199,17 @@ def plan_scope(plan: PhysicalPlan) -> frozenset[str]:
     Multi-tenant serving uses this to enforce a tenant's KG slice *before*
     any replica sees a fragment — see
     :class:`repro.serving.frontdoor.TenantRegistry`.
+
+    A REACH clause widens the scope: answers carry the ``TO`` type when one
+    was given, and the sentinel ``"*"`` otherwise — an unbounded REACH can
+    surface any entity type, so a type-sliced tenant must name a ``TO`` type
+    inside their slice.
     """
     entity_type = plan.query.entity_type
-    return frozenset((entity_type,)) if entity_type else frozenset()
+    scope = {entity_type} if entity_type else set()
+    if plan.reach is not None:
+        scope.add(plan.reach.target_type or "*")
+    return frozenset(scope)
 
 
 def ensure_plan_within_types(
@@ -186,6 +225,12 @@ def ensure_plan_within_types(
         return
     outside = plan_scope(plan) - allowed_types
     if outside:
+        if "*" in outside:
+            raise KGQPlanError(
+                "a REACH without a TO type can surface any entity type; "
+                "type-sliced callers must bound it with TO "
+                f"(allowed: {sorted(allowed_types)})"
+            )
         raise KGQPlanError(
             f"plan touches entity types outside the allowed slice: "
             f"{sorted(outside)} (allowed: {sorted(allowed_types)})"
@@ -235,12 +280,21 @@ class QueryPlanner:
             raise KGQPlanError("a MATCH query needs an entity type")
 
         seed, remaining = self._choose_seed(query)
+        reach = None
+        if query.reach is not None:
+            reach = ReachOp(
+                expression=query.reach,
+                target_type=query.reach_type,
+                automaton=compile_automaton(query.reach),
+                closure=single_label_closure(query.reach),
+            )
         plan = PhysicalPlan(
             query=query,
             seed=seed,
             filters=[FilterOp(condition) for condition in remaining],
             project=ProjectOp(tuple(query.returns)),
             limit=LimitOp(query.limit) if query.limit is not None else None,
+            reach=reach,
         )
         return plan
 

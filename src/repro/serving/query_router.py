@@ -35,7 +35,8 @@ from repro.errors import ReplicaUnavailableError, ServingError, StaleReadError
 from repro.live.executor import QueryResult, merge_partial_results
 from repro.live.kgq import CallQuery, Query, default_virtual_operators, parse
 from repro.live.planner import PhysicalPlan, PlanFragment, QueryPlanner, extract_fragments
-from repro.serving.router import ANY, Consistency, ShardRouter
+from repro.live.rpq import accepting_answers, initial_frontier, merge_frontier
+from repro.serving.router import ANY, Consistency, ShardRouter, stable_hash
 
 
 class QueryRouter:
@@ -64,6 +65,8 @@ class QueryRouter:
         self.plan_cache_misses = 0           # text compiles that had to plan
         self.plan_cache_evictions = 0        # LRU entries pushed out by capacity
         self.consistency_rejections = 0      # replicas skipped for staleness
+        self.reach_queries = 0               # REACH plans run via the round protocol
+        self.reach_rounds = 0                # frontier scatter rounds across them
 
     # -------------------------------------------------------------- #
     # compilation (once per query text)
@@ -182,6 +185,8 @@ class QueryRouter:
         started = time.perf_counter()
         plan = self.compile(query)
         self.queries_routed += 1
+        if plan.reach is not None:
+            return self._execute_reach(plan, view_name, consistency, vectorized, started)
         dead: set[str] = set()
         partials: list[QueryResult] = []
         pending = self.partition_fragments(plan, view_name, consistency)
@@ -216,6 +221,147 @@ class QueryRouter:
         result.latency_ms = (time.perf_counter() - started) * 1000.0
         return result
 
+    # -------------------------------------------------------------- #
+    # distributed REACH (round-based frontier scatter until fixpoint)
+    # -------------------------------------------------------------- #
+    def _execute_reach(
+        self,
+        plan: PhysicalPlan,
+        view_name: str,
+        consistency: Consistency,
+        vectorized: bool | None,
+        started: float,
+    ) -> QueryResult:
+        """Distributed RPQ: seed scatter, frontier rounds, answer gather.
+
+        REACH plans cannot use the one-shot fragment path — a node reachable
+        only from another partition's seed would be lost — so the router runs
+        the shared round protocol (:mod:`repro.live.rpq`): (1) every replica
+        seeds its own partition (the plan's MATCH/WHERE pipeline, LIMIT
+        deferred); (2) each BFS round's frontier is scattered by subject hash,
+        replicas expand one product step over their full view copy, and the
+        router merges the candidates — the semiring *plus* keeps the canonical
+        witness, making the merge order-insensitive — until the frontier is
+        empty; (3) accepting answers are gathered partition-wise (fetch, ``TO``
+        gate, projection) and the router attaches each row's witness.  A
+        replica dying in any phase re-dispatches its share to the survivors,
+        exactly like the fragment path.  Results are bit-identical to the
+        primary's: same rows, same ordering, same canonical witnesses.
+        """
+        self.reach_queries += 1
+        dead: set[str] = set()
+        seeds: set[str] = set()
+        examined = 0
+        pending = self.partition_fragments(plan, view_name, consistency)
+        while pending:
+            fragment = pending.pop()
+            node = self.router.replicas.get(fragment.owner)
+            try:
+                if node is None:
+                    raise ReplicaUnavailableError(
+                        f"replica {fragment.owner!r} left the fleet mid-query"
+                    )
+                subjects, fragment_examined = node.reach_seed_fragment(
+                    fragment, vectorized=vectorized
+                )
+                seeds.update(subjects)
+                examined += fragment_examined
+                self.fragments_dispatched += 1
+            except ReplicaUnavailableError:
+                dead.add(fragment.owner)
+                self.fragment_retries += 1
+                replacements = self.partition_fragments(
+                    plan, view_name, consistency, exclude=dead
+                )
+                pending.extend(
+                    replacement.intersect(fragment.ranges)
+                    for replacement in replacements
+                )
+                pending = [fragment for fragment in pending if fragment.ranges]
+
+        automaton = plan.reach.automaton
+        visited, frontier = initial_frontier(seeds, automaton)
+        while frontier:
+            self.reach_rounds += 1
+            examined += len(frontier)
+            candidates = self._scatter_entries(
+                plan, view_name, consistency, dead, frontier,
+                lambda node, entries: node.expand_reach(view_name, automaton, entries),
+            )
+            frontier = merge_frontier(visited, candidates)
+        answers = accepting_answers(visited, automaton.accepting)
+
+        rows = self._scatter_entries(
+            plan, view_name, consistency, dead, sorted(answers),
+            lambda node, subjects: node.project_reach(view_name, plan, subjects),
+        )
+        prefix = f"{view_name}:"
+        for row in rows:
+            subject = row.entity_id[len(prefix):] if row.entity_id.startswith(prefix) else row.entity_id
+            row.witness = answers.get(subject)
+        rows.sort(key=lambda row: row.entity_id)
+        if plan.limit is not None:
+            rows = rows[: plan.limit.limit]
+        return QueryResult(
+            rows=rows,
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+            from_cache=False,
+            candidates_examined=examined,
+        )
+
+    def _scatter_entries(
+        self,
+        plan: PhysicalPlan,
+        view_name: str,
+        consistency: Consistency,
+        dead: set[str],
+        entries: list,
+        dispatch,
+    ) -> list:
+        """Scatter *entries* to their partition owners, gathering the outputs.
+
+        Each entry is assigned to the replica whose hash partition covers its
+        subject (frontier entries hash their node; answer subjects hash
+        themselves); *dispatch(node, owner_entries)* runs the phase and its
+        outputs are concatenated.  An owner dying mid-phase is excluded and
+        its entries re-assigned over the survivors — mutating *dead* so later
+        phases skip it too.
+        """
+        outputs: list = []
+        pending = list(entries)
+        while pending:
+            fragments = self.partition_fragments(
+                plan, view_name, consistency, exclude=dead
+            )
+            by_owner: dict[str, list] = {}
+            for entry in pending:
+                subject = entry[0] if isinstance(entry, tuple) else entry
+                subject_hash = stable_hash(subject)
+                owner = next(
+                    (f.owner for f in fragments if f.covers(subject_hash)), None
+                )
+                if owner is None:
+                    raise ServingError(
+                        f"no partition covers subject {subject!r} for view "
+                        f"{view_name!r} — the hash ring left a gap"
+                    )
+                by_owner.setdefault(owner, []).append(entry)
+            pending = []
+            for owner, owner_entries in sorted(by_owner.items()):
+                node = self.router.replicas.get(owner)
+                try:
+                    if node is None:
+                        raise ReplicaUnavailableError(
+                            f"replica {owner!r} left the fleet mid-query"
+                        )
+                    outputs.extend(dispatch(node, owner_entries))
+                    self.fragments_dispatched += 1
+                except ReplicaUnavailableError:
+                    dead.add(owner)
+                    self.fragment_retries += 1
+                    pending.extend(owner_entries)
+        return outputs
+
     def explain(self, query: str | Query | CallQuery, view_name: str) -> list[str]:
         """EXPLAIN-style rendering: the shared plan plus current fragments."""
         plan = self.compile(query)
@@ -246,4 +392,6 @@ class QueryRouter:
                 self.plan_cache_hits / compiles if compiles else 0.0
             ),
             "consistency_rejections": self.consistency_rejections,
+            "reach_queries": self.reach_queries,
+            "reach_rounds": self.reach_rounds,
         }

@@ -42,11 +42,12 @@ from collections import deque
 from typing import Callable
 
 from repro.engine.metadata import WatermarkMap
-from repro.errors import ReplicaUnavailableError, ServingError
-from repro.live.executor import QueryExecutor, QueryResult
+from repro.errors import KGQPlanError, ReplicaUnavailableError, ServingError
+from repro.live.executor import QueryExecutor, QueryResult, QueryResultRow
 from repro.live.index import LiveIndex, document_checksum, view_row_documents
 from repro.live.kgq import CallQuery, Query, default_virtual_operators, parse
 from repro.live.planner import PhysicalPlan, PlanFragment, QueryPlanner
+from repro.live.rpq import Automaton, FrontierEntry, expand_product_entries
 from repro.serving.router import stable_hash
 from repro.serving.shipping import ShipmentBatch
 
@@ -274,6 +275,27 @@ class ReplicaNode:
             raise ReplicaUnavailableError(
                 f"replica {self.name!r} is not running; cannot execute fragments"
             )
+        if fragment.plan.reach is not None:
+            raise KGQPlanError(
+                "REACH plans do not fragment: a partition-scoped answer set "
+                "would miss nodes reached from other partitions' seeds — "
+                "route them through QueryRouter's round protocol "
+                "(reach_seed_fragment / expand_reach / project_reach)"
+            )
+        in_partition = self._partition_scope(fragment)
+        with self._apply_lock:
+            result = self.executor.execute(
+                fragment.plan,
+                use_cache=use_cache,
+                scope=in_partition,
+                scope_key=fragment.cache_key(),
+                vectorized=vectorized,
+            )
+        self.fragments_executed += 1
+        return result
+
+    def _partition_scope(self, fragment: PlanFragment) -> Callable:
+        """Scope callable confining execution to the fragment's partition."""
         feed = f"view:{fragment.view_name}"
         prefix = f"{fragment.view_name}:"
 
@@ -289,16 +311,110 @@ class ReplicaNode:
                 document._subject_hash = subject_hash
             return fragment.covers(subject_hash)
 
+        return in_partition
+
+    # -------------------------------------------------------------- #
+    # distributed REACH protocol (driven by QueryRouter)
+    # -------------------------------------------------------------- #
+    def reach_seed_fragment(
+        self,
+        fragment: PlanFragment,
+        vectorized: bool | None = None,
+    ) -> tuple[list[str], int]:
+        """Seed phase of a distributed REACH: this partition's matching subjects.
+
+        Runs the fragment plan's seed/filter pipeline (LIMIT deferred — it
+        bounds the final answers, not the seeds) over the partition this
+        fragment covers, and returns the matching **subjects** (view row keys
+        with the ``view:`` prefix stripped) plus the examined count.
+        """
+        if not self._alive:
+            raise ReplicaUnavailableError(
+                f"replica {self.name!r} is not running; cannot seed REACH queries"
+            )
+        prefix = f"{fragment.view_name}:"
+        in_partition = self._partition_scope(fragment)
         with self._apply_lock:
-            result = self.executor.execute(
+            documents, examined = self.executor.match_documents(
                 fragment.plan,
-                use_cache=use_cache,
                 scope=in_partition,
-                scope_key=fragment.cache_key(),
                 vectorized=vectorized,
+                apply_limit=False,
             )
         self.fragments_executed += 1
-        return result
+        subjects = [
+            document.entity_id[len(prefix):]
+            if document.entity_id.startswith(prefix)
+            else document.entity_id
+            for document in documents
+        ]
+        return subjects, examined
+
+    def expand_reach(
+        self,
+        view_name: str,
+        automaton: Automaton,
+        entries: list[FrontierEntry],
+    ) -> list[FrontierEntry]:
+        """One product-BFS step over this node's copy of the view's graph.
+
+        The router scatters each round's frontier by subject hash; every
+        replica holds the full view copy, so expanding any entry here yields
+        the same successors the primary would produce.  Returns the raw
+        candidate entries — the router merges them (semiring *plus*) across
+        replicas.
+        """
+        if not self._alive:
+            raise ReplicaUnavailableError(
+                f"replica {self.name!r} is not running; cannot expand REACH frontiers"
+            )
+        with self._apply_lock:
+            graph = self.index.adjacency.graph(f"view:{view_name}")
+            candidates = expand_product_entries(graph, automaton, entries)
+        self.fragments_executed += 1
+        return candidates
+
+    def project_reach(
+        self,
+        view_name: str,
+        plan: PhysicalPlan,
+        subjects: list[str],
+    ) -> list[QueryResultRow]:
+        """Gather phase: project this partition's REACH answer subjects.
+
+        Fetches each subject's served row document, applies the plan's ``TO``
+        type gate (untyped documents pass, as everywhere else), and projects
+        through the plan's RETURN clause.  Subjects not served here (vanished
+        rows, foreign feeds) are silently dropped — the router only sends
+        subjects it believes this node owns, and honest omission beats a
+        fabricated row.
+        """
+        if not self._alive:
+            raise ReplicaUnavailableError(
+                f"replica {self.name!r} is not running; cannot project REACH answers"
+            )
+        feed = f"view:{view_name}"
+        reach = plan.reach
+        with self._apply_lock:
+            documents = self.index.get_many(
+                [f"{view_name}:{subject}" for subject in subjects]
+            )
+            survivors = []
+            for subject in subjects:
+                document = documents.get(f"{view_name}:{subject}")
+                if document is None or document.source_id != feed:
+                    continue
+                if (
+                    reach is not None
+                    and reach.target_type
+                    and document.entity_type
+                    and document.entity_type != reach.target_type
+                ):
+                    continue
+                survivors.append(document)
+            rows = self.executor.project_documents(survivors, plan)
+        self.fragments_executed += 1
+        return rows
 
     def query(
         self,
@@ -322,8 +438,10 @@ class ReplicaNode:
         )
         scope = None
         scope_key = ""
+        reach_feed = ""
         if view_name is not None:
             feed = f"view:{view_name}"
+            reach_feed = feed
 
             def scope(document, feed=feed):
                 return document.source_id == feed
@@ -331,7 +449,11 @@ class ReplicaNode:
             scope_key = f"feed:{view_name}"
         with self._apply_lock:
             result = self.executor.execute(
-                plan, scope=scope, scope_key=scope_key, vectorized=vectorized
+                plan,
+                scope=scope,
+                scope_key=scope_key,
+                vectorized=vectorized,
+                reach_feed=reach_feed,
             )
         self.local_queries += 1
         return result

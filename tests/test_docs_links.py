@@ -1,0 +1,35 @@
+"""Tier-1 wrapper around the docs link lint (tools/check_doc_links.py).
+
+CI's lint job runs the script directly; this wrapper keeps the same
+invariants — no dangling relative links, no docs/*.md orphaned from the
+README subsystem map — inside the tier-1 suite so a local `pytest` run
+catches doc drift too.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_links_resolve_and_every_doc_is_reachable():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_doc_links.py"), str(REPO_ROOT)],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        f"docs link lint failed:\n{result.stdout}{result.stderr}"
+    )
+    assert "docs links OK" in result.stdout
+
+
+def test_readme_and_architecture_doc_exist():
+    # The link checker treats a missing README as its own failure, but make
+    # the two load-bearing documents' existence an explicit assertion.
+    assert (REPO_ROOT / "README.md").is_file()
+    assert (REPO_ROOT / "docs" / "architecture.md").is_file()
+    assert (REPO_ROOT / "docs" / "kgq.md").is_file()

@@ -1,0 +1,45 @@
+"""Smoke test: every examples/ script runs to a clean exit.
+
+Each script is executed in a subprocess with ``PYTHONPATH=src`` (the same
+way the README quickstart and the CI example steps invoke them), asserting
+exit code 0.  This keeps the examples honest as the APIs they narrate
+evolve — a signature change that breaks an example fails tier-1 instead of
+rotting silently.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted(
+    path.name for path in (REPO_ROOT / "examples").glob("*.py")
+)
+
+
+def test_examples_directory_is_nonempty():
+    assert "quickstart.py" in EXAMPLES
+    assert "provenance_paths.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"examples/{script} exited {result.returncode}:\n"
+        f"{result.stdout[-2000:]}{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"examples/{script} printed nothing"

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Docs link lint: every relative link resolves, every doc is reachable.
+
+Checks two invariants over ``README.md`` and ``docs/*.md``:
+
+1. every relative markdown link ``[text](target)`` points at a file that
+   exists (absolute ``http(s)://`` links and pure ``#fragment`` anchors are
+   skipped; a ``target#fragment`` suffix is stripped before the existence
+   check);
+2. every file under ``docs/`` is reachable from ``README.md`` by following
+   relative links — no orphaned documentation.
+
+Exits non-zero listing every violation, so the CI lint job fails on dangling
+links or unreferenced docs.  Run from the repo root (or pass it as argv[1]):
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links [text](target); images ![alt](target) match too via the [text]
+# part.  Reference-style links are not used in this repo.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def links_in(path: Path) -> list[str]:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return LINK_RE.findall(text)
+
+
+def is_relative(target: str) -> bool:
+    return "://" not in target and not target.startswith(("#", "mailto:"))
+
+
+def check(root: Path) -> list[str]:
+    errors: list[str] = []
+    readme = root / "README.md"
+    docs = sorted((root / "docs").glob("*.md"))
+    if not readme.is_file():
+        return ["README.md is missing"]
+
+    # Invariant 1: every relative link in README.md and docs/*.md resolves.
+    resolved: dict[Path, set[Path]] = {}
+    for source in [readme, *docs]:
+        targets: set[Path] = set()
+        for raw in links_in(source):
+            if not is_relative(raw):
+                continue
+            target = (source.parent / raw.split("#", 1)[0]).resolve()
+            if not target.exists():
+                rel = source.relative_to(root)
+                errors.append(f"{rel}: dangling link -> {raw}")
+            else:
+                targets.add(target)
+        resolved[source.resolve()] = targets
+
+    # Invariant 2: every docs/*.md is reachable from README.md.
+    reachable = {readme.resolve()}
+    frontier = [readme.resolve()]
+    while frontier:
+        source = frontier.pop()
+        for target in resolved.get(source, set()):
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    for doc in docs:
+        if doc.resolve() not in reachable:
+            errors.append(
+                f"{doc.relative_to(root)}: not reachable from README.md's "
+                "subsystem map"
+            )
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    errors = check(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"\n{len(errors)} docs link problem(s)", file=sys.stderr)
+        return 1
+    checked = 1 + len(sorted((root / 'docs').glob('*.md')))
+    print(f"docs links OK ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
