@@ -6,7 +6,12 @@ from repro.engine.agents import (
     OrchestrationAgent,
     ReplayReport,
 )
-from repro.engine.analytics import AnalyticsStore, EntityViewSpec, Relation
+from repro.engine.analytics import (
+    AnalyticsStore,
+    EntityViewSpec,
+    JoinAccessPattern,
+    Relation,
+)
 from repro.engine.entity_store import EntityDocument, EntityStore
 from repro.engine.graph_engine import GraphEngine
 from repro.engine.importance import (
@@ -21,6 +26,9 @@ from repro.engine.object_store import ObjectStore
 from repro.engine.text_index import InvertedTextIndex, SearchHit, TextDocument
 from repro.engine.vector_db import VectorDB, VectorHit
 from repro.engine.views import (
+    DeltaApplyResult,
+    JoinInput,
+    JoinViewDefinition,
     ViewCatalog,
     ViewContext,
     ViewDefinition,
@@ -32,6 +40,7 @@ __all__ = [
     "AgentCoordinator",
     "AnalyticsStore",
     "CallbackAgent",
+    "DeltaApplyResult",
     "EntityDocument",
     "EntityImportance",
     "EntityStore",
@@ -40,6 +49,9 @@ __all__ = [
     "ImportanceConfig",
     "ImportanceScore",
     "InvertedTextIndex",
+    "JoinAccessPattern",
+    "JoinInput",
+    "JoinViewDefinition",
     "LogRecord",
     "MetadataStore",
     "ObjectStore",

@@ -48,8 +48,12 @@ class Relation:
         if not columns:
             return cls(name, [])
         names = list(columns)
-        if len({len(columns[column]) for column in names}) > 1:
-            raise StoreError(f"relation {name!r} needs equal-length columns")
+        lengths = {column: len(columns[column]) for column in names}
+        if len(set(lengths.values())) > 1:
+            raise StoreError(
+                f"relation {name!r} needs equal-length columns; got "
+                + ", ".join(f"{column}={length}" for column, length in lengths.items())
+            )
         rows = [
             dict(zip(names, values))
             for values in zip(*(columns[column] for column in names))
@@ -96,17 +100,25 @@ class Relation:
         ``how`` is ``"inner"`` or ``"left"``.  The smaller relation is always
         used to build the hash table, which is the textbook optimization the
         legacy row-at-a-time implementation lacks.
+
+        Every row must carry its side's join key (a ``None`` *value* is a
+        legal key and joins other ``None`` keys); a row missing the key
+        column outright raises :class:`~repro.errors.StoreError` naming the
+        relation, the row index, and the column — silently joining absent
+        keys as ``None`` hid schema mistakes.
         """
         if how not in ("inner", "left"):
             raise StoreError(f"unsupported join type {how!r}")
+        self._require_key(left_key)
+        other._require_key(right_key)
         build_right = len(other.rows) <= len(self.rows) or how == "left"
         if build_right:
             table: dict[object, list[Row]] = defaultdict(list)
             for row in other.rows:
-                table[row.get(right_key)].append(row)
+                table[row[right_key]].append(row)
             joined = []
             for row in self.rows:
-                matches = table.get(row.get(left_key), [])
+                matches = table.get(row[left_key], [])
                 if matches:
                     for match in matches:
                         joined.append({**match, **row})
@@ -116,12 +128,20 @@ class Relation:
         # Build on the left side instead, then probe with the right rows.
         table = defaultdict(list)
         for row in self.rows:
-            table[row.get(left_key)].append(row)
+            table[row[left_key]].append(row)
         joined = []
         for row in other.rows:
-            for match in table.get(row.get(right_key), []):
+            for match in table.get(row[right_key], []):
                 joined.append({**row, **match})
         return Relation(f"{self.name}⋈{other.name}", joined)
+
+    def _require_key(self, key: str) -> None:
+        for index, row in enumerate(self.rows):
+            if key not in row:
+                raise StoreError(
+                    f"relation {self.name!r} row {index} is missing join key "
+                    f"{key!r}; every row of a join side must carry the key column"
+                )
 
     def group_by(
         self,
@@ -154,6 +174,122 @@ class Relation:
     def to_rows(self) -> list[Row]:
         """Copy of the underlying rows."""
         return [dict(row) for row in self.rows]
+
+
+class JoinAccessPattern:
+    """Hash access patterns over one join input (IVM building block).
+
+    The indexed access patterns of the delta-query factorization (PAPERS.md,
+    *Conjunctive Queries with Free Access Patterns under Updates*): a join
+    input is materialized twice — ``subject → rows`` for replaying one
+    entity's contribution, and ``join-key → subjects`` for probing which
+    partners a delta on the *other* side touches.  Both stay consistent under
+    :meth:`replace_subject_rows`, so maintenance cost is O(|delta| · lookup)
+    instead of O(|input|).
+
+    Rows must be dicts carrying ``subject`` and the *key* column; validation
+    mirrors :meth:`Relation.hash_join` — a missing key column is a schema
+    mistake, not an empty join.
+    """
+
+    def __init__(self, name: str, key: str) -> None:
+        if not name:
+            raise StoreError("join access pattern needs a non-empty name")
+        if not key:
+            raise StoreError(f"join input {name!r} needs a non-empty join key")
+        self.name = name
+        self.key = key
+        self._rows_by_subject: dict[str, list[Row]] = {}
+        self._subjects_by_key: dict[object, set[str]] = defaultdict(set)
+        self.lookups = 0
+
+    def rebuild(self, rows: Iterable[Row]) -> int:
+        """Batch-(re)build both indexes from scratch; returns the row count.
+
+        Columnar construction: rows are validated once and grouped per
+        subject in one pass, the same batch idiom
+        :meth:`Relation.from_columns` applies to join build sides.
+        """
+        self._rows_by_subject.clear()
+        self._subjects_by_key.clear()
+        count = 0
+        for row in rows:
+            self._insert(row)
+            count += 1
+        return count
+
+    def replace_subject_rows(
+        self, subject: str, rows: Sequence[Row]
+    ) -> tuple[set[object], set[object]]:
+        """Replace one subject's rows; returns ``(old_keys, new_keys)``.
+
+        The returned key-value sets are exactly what the delta rule probes on
+        the partner side: a partner row is affected iff it joins one of these
+        values.  An empty *rows* removes the subject from the input.
+        Validation happens before any mutation, so a rejected replacement
+        leaves the indexes untouched.
+        """
+        for row in rows:
+            if str(row.get("subject", subject)) != subject:
+                raise StoreError(
+                    f"join input {self.name!r}: row for subject {subject!r} "
+                    f"names a different subject {row.get('subject')!r}"
+                )
+        old_keys = self._remove_subject(subject)
+        new_keys: set[object] = set()
+        for row in rows:
+            self._insert(row)
+            new_keys.add(row[self.key])
+        return old_keys, new_keys
+
+    def contains(self, subject: str) -> bool:
+        """Whether *subject* currently contributes rows to this input."""
+        return subject in self._rows_by_subject
+
+    def rows_of(self, subject: str) -> list[Row]:
+        """The subject's current rows (empty when it is not a member)."""
+        self.lookups += 1
+        return self._rows_by_subject.get(subject, [])
+
+    def subjects_for_keys(self, keys: Iterable[object]) -> set[str]:
+        """Partners of the given join-key values — the delta-rule probe."""
+        affected: set[str] = set()
+        for value in keys:
+            self.lookups += 1
+            affected |= self._subjects_by_key.get(value, set())
+        return affected
+
+    def subjects(self) -> list[str]:
+        """Every member subject, sorted (deterministic full-join order)."""
+        return sorted(self._rows_by_subject)
+
+    def __len__(self) -> int:
+        return len(self._rows_by_subject)
+
+    def _insert(self, row: Row) -> None:
+        if not isinstance(row, dict) or "subject" not in row:
+            raise StoreError(
+                f"join input {self.name!r} rows need a 'subject' key"
+            )
+        if self.key not in row:
+            raise StoreError(
+                f"join input {self.name!r} row for subject "
+                f"{row['subject']!r} is missing join key {self.key!r}"
+            )
+        subject = str(row["subject"])
+        self._rows_by_subject.setdefault(subject, []).append(dict(row))
+        self._subjects_by_key[row[self.key]].add(subject)
+
+    def _remove_subject(self, subject: str) -> set[object]:
+        old_rows = self._rows_by_subject.pop(subject, [])
+        old_keys = {row[self.key] for row in old_rows}
+        for value in old_keys:
+            partners = self._subjects_by_key.get(value)
+            if partners is not None:
+                partners.discard(subject)
+                if not partners:
+                    del self._subjects_by_key[value]
+        return old_keys
 
 
 @dataclass
@@ -275,6 +411,40 @@ class AnalyticsStore:
             objects.extend(values)
         self.rows_scanned += len(subjects)
         return subjects, objects
+
+    def entity_rows(
+        self,
+        entity_type: str,
+        predicates: Sequence[str],
+        subjects: Iterable[str] | None = None,
+    ) -> list[Row]:
+        """One collapsed row per subject of *entity_type* — a join-input loader.
+
+        Each row carries ``subject`` plus one column per predicate (collapsed
+        to a scalar when single-valued, like :meth:`grouped_predicate_relation`;
+        absent predicates stay absent).  With *subjects* given, only the named
+        subjects are loaded **and only those still of the type are returned**
+        — exactly the contract :class:`~repro.engine.views.JoinInput` loaders
+        follow, so an entity that migrated away from the type reads as "no
+        longer a member".
+        """
+        members = self._subjects_by_type.get(entity_type, set())
+        if subjects is None:
+            pool = sorted(members)
+        else:
+            pool = sorted(set(str(subject) for subject in subjects) & members)
+        rows: list[Row] = []
+        scanned = 0
+        for subject in pool:
+            row: Row = {"subject": subject}
+            for predicate in predicates:
+                values = self._by_predicate.get(predicate, {}).get(subject)
+                if values:
+                    scanned += len(values)
+                    row[predicate] = _collapse(list(values))
+            rows.append(row)
+        self.rows_scanned += scanned + len(pool)
+        return rows
 
     def grouped_predicate_relation(self, predicate: str, column_name: str) -> Relation:
         """Per-subject collapsed relation of one predicate, from the index.

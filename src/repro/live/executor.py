@@ -22,6 +22,7 @@ paper quotes for the production deployment.
 
 from __future__ import annotations
 
+import json
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -155,6 +156,140 @@ def merge_partial_results(
         latency_ms=latency,
         from_cache=bool(partials) and all(partial.from_cache for partial in partials),
         candidates_examined=examined,
+    )
+
+
+#: Separator composing a joined row's entity id from its operand row ids.
+#: A left-join miss keeps the separator with an empty right half, so joined
+#: ids never collide with plain row ids and stay deterministic to sort.
+JOIN_ID_SEPARATOR = "⋈"
+
+
+def canonical_join_key(value: object) -> str:
+    """Canonical string of a join-key value: equal values, equal strings.
+
+    The one key-equality definition every join path shares — the hash table
+    of :func:`join_result_rows` and the shuffle partitioner of
+    ``QueryRouter.execute_join`` must agree on which values join, or a
+    re-partitioned join would split a key group across replicas and lose
+    matches.  Numerics (``3``, ``3.0``, ``True``) normalize to one numeric
+    form, mirroring the executor's cross-type ``_equal`` semantics; every
+    other value canonicalizes through sorted-key JSON.
+    """
+    if isinstance(value, (bool, int, float)):
+        as_float = float(value)
+        if as_float.is_integer():
+            return f"n:{int(as_float)}"
+        return f"n:{as_float!r}"
+    return "s:" + json.dumps(value, sort_keys=True, default=str, separators=(",", ":"))
+
+
+def projected_join_key(row: QueryResultRow, key: str) -> object:
+    """The row's join-key value, which must be among its projected columns.
+
+    Join sides must ``RETURN`` their join key — a row that did not project
+    it cannot be partitioned or matched, and silently joining a missing key
+    as ``None`` would fabricate matches, so this raises
+    :class:`~repro.errors.LiveGraphError` naming the row and the column.
+    """
+    try:
+        return row.values[key]
+    except KeyError:
+        raise LiveGraphError(
+            f"result row {row.entity_id!r} does not project join key {key!r}; "
+            "add the key column to the query's RETURN clause"
+        ) from None
+
+
+def join_result_rows(
+    left_rows: Sequence[QueryResultRow],
+    right_rows: Sequence[QueryResultRow],
+    left_key: str,
+    right_key: str,
+    how: str = "inner",
+) -> list[QueryResultRow]:
+    """Hash-join two result-row sets on a projected key column.
+
+    The single join kernel of the distributed path: the primary reference
+    (:func:`join_results`), the replica-side broadcast probe
+    (``ReplicaNode.join_fragment``), and the shuffle partition join
+    (``ReplicaNode.join_partition``) all run exactly this function, which is
+    what makes distributed joins result-identical to primary execution.
+
+    Joined rows merge the right row's values under the left row's (the left
+    side wins a column-name collision) and compose their entity id as
+    ``left_id ⋈ right_id``; with ``how="left"`` an unmatched left row
+    survives as ``left_id ⋈`` carrying only its own values.  Output order is
+    probe order — callers canonicalize through :func:`finalize_joined_rows`.
+    """
+    if how not in ("inner", "left"):
+        raise LiveGraphError(f"unsupported join type {how!r}")
+    table: dict[str, list[QueryResultRow]] = {}
+    for row in right_rows:
+        table.setdefault(canonical_join_key(projected_join_key(row, right_key)), []).append(row)
+    joined: list[QueryResultRow] = []
+    for left_row in left_rows:
+        matches = table.get(canonical_join_key(projected_join_key(left_row, left_key)))
+        if matches:
+            for right_row in matches:
+                values = dict(right_row.values)
+                values.update(left_row.values)
+                joined.append(QueryResultRow(
+                    entity_id=(
+                        f"{left_row.entity_id}{JOIN_ID_SEPARATOR}{right_row.entity_id}"
+                    ),
+                    values=values,
+                ))
+        elif how == "left":
+            joined.append(QueryResultRow(
+                entity_id=f"{left_row.entity_id}{JOIN_ID_SEPARATOR}",
+                values=dict(left_row.values),
+            ))
+    return joined
+
+
+def finalize_joined_rows(
+    rows: Iterable[QueryResultRow], limit: int | None = None
+) -> list[QueryResultRow]:
+    """Canonicalize gathered join rows: dedup by id, order, apply LIMIT.
+
+    The joined-row counterpart of :func:`merge_partial_results`' gather step:
+    duplicates (possible only when a dead-replica re-dispatch overlapped) are
+    dropped first-wins, rows sort by composite entity id, and *limit* bounds
+    the final result — per-side LIMITs are rejected at planning time because
+    a per-partition LIMIT under-collects.
+    """
+    by_id: dict[str, QueryResultRow] = {}
+    for row in rows:
+        by_id.setdefault(row.entity_id, row)
+    ordered = [by_id[entity_id] for entity_id in sorted(by_id)]
+    if limit is not None:
+        ordered = ordered[:limit]
+    return ordered
+
+
+def join_results(
+    left: QueryResult,
+    right: QueryResult,
+    left_key: str,
+    right_key: str,
+    how: str = "inner",
+    limit: int | None = None,
+) -> QueryResult:
+    """Join two query results — the primary-side reference for router joins.
+
+    ``QueryRouter.execute_join`` over any fleet must return exactly what this
+    produces from the primary's own execution of the two side queries (the
+    seeded equivalence suite property-tests that under kills and restarts).
+    """
+    rows = finalize_joined_rows(
+        join_result_rows(left.rows, right.rows, left_key, right_key, how), limit
+    )
+    return QueryResult(
+        rows=rows,
+        latency_ms=left.latency_ms + right.latency_ms,
+        from_cache=left.from_cache and right.from_cache,
+        candidates_examined=left.candidates_examined + right.candidates_examined,
     )
 
 

@@ -170,6 +170,33 @@ class ServingFleet:
         """
         return self.query_router.execute(query, view_name, consistency)
 
+    def join(
+        self,
+        left_query,
+        left_view: str,
+        right_query,
+        right_view: str,
+        left_key: str,
+        right_key: str,
+        how: str = "inner",
+        consistency: Consistency = ANY,
+        strategy: str = "auto",
+        broadcast_threshold: int = 64,
+        limit: int | None = None,
+    ) -> QueryResult:
+        """Cross-view join executed replica-side (broadcast or shuffle).
+
+        Small right sides broadcast to the left view's fragments; large ones
+        re-partition both sides by join-key hash — see
+        :meth:`~repro.serving.query_router.QueryRouter.execute_join`.
+        """
+        return self.query_router.execute_join(
+            left_query, left_view, right_query, right_view,
+            left_key, right_key, how=how, consistency=consistency,
+            strategy=strategy, broadcast_threshold=broadcast_threshold,
+            limit=limit,
+        )
+
     def audit(
         self, repair: bool = True, raise_on_divergence: bool = False
     ) -> dict[str, AuditReport]:

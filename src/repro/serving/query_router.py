@@ -31,8 +31,20 @@ import threading
 import time
 from collections import OrderedDict
 
-from repro.errors import ReplicaUnavailableError, ServingError, StaleReadError
-from repro.live.executor import QueryResult, merge_partial_results
+from repro.errors import (
+    KGQPlanError,
+    ReplicaUnavailableError,
+    ServingError,
+    StaleReadError,
+)
+from repro.live.executor import (
+    QueryResult,
+    QueryResultRow,
+    canonical_join_key,
+    finalize_joined_rows,
+    merge_partial_results,
+    projected_join_key,
+)
 from repro.live.kgq import CallQuery, Query, default_virtual_operators, parse
 from repro.live.planner import PhysicalPlan, PlanFragment, QueryPlanner, extract_fragments
 from repro.live.rpq import accepting_answers, initial_frontier, merge_frontier
@@ -67,6 +79,11 @@ class QueryRouter:
         self.consistency_rejections = 0      # replicas skipped for staleness
         self.reach_queries = 0               # REACH plans run via the round protocol
         self.reach_rounds = 0                # frontier scatter rounds across them
+        self.join_queries = 0                # cross-view joins through execute_join
+        self.broadcast_joins = 0             # joins that shipped the small side
+        self.shuffle_joins = 0               # joins re-partitioned by key hash
+        self.join_rows_broadcast = 0         # build rows shipped across all fragments
+        self.join_rows_shuffled = 0          # rows re-partitioned to key owners
 
     # -------------------------------------------------------------- #
     # compilation (once per query text)
@@ -188,8 +205,34 @@ class QueryRouter:
         if plan.reach is not None:
             return self._execute_reach(plan, view_name, consistency, vectorized, started)
         dead: set[str] = set()
+        partials = self._gather_fragments(
+            plan, view_name, consistency, dead,
+            lambda node, fragment: node.execute_fragment(
+                fragment, use_cache=use_cache, vectorized=vectorized
+            ),
+        )
+        result = merge_partial_results(plan, partials)
+        result.latency_ms = (time.perf_counter() - started) * 1000.0
+        return result
+
+    def _gather_fragments(
+        self,
+        plan: PhysicalPlan,
+        view_name: str,
+        consistency: Consistency,
+        dead: set[str],
+        dispatch,
+    ) -> list[QueryResult]:
+        """Run *dispatch(node, fragment)* over every partition of the plan.
+
+        The shared scatter loop of the one-shot paths (plain execution and
+        both join steps): fragments execute on the replicas owning their
+        partitions, and an owner dying between partitioning and execution has
+        its share re-partitioned over the survivors (mutating *dead* so later
+        phases of the same query skip it too).
+        """
         partials: list[QueryResult] = []
-        pending = self.partition_fragments(plan, view_name, consistency)
+        pending = self.partition_fragments(plan, view_name, consistency, exclude=dead)
         while pending:
             fragment = pending.pop()
             node = self.router.replicas.get(fragment.owner)
@@ -198,11 +241,7 @@ class QueryRouter:
                     raise ReplicaUnavailableError(
                         f"replica {fragment.owner!r} left the fleet mid-query"
                     )
-                partials.append(
-                    node.execute_fragment(
-                        fragment, use_cache=use_cache, vectorized=vectorized
-                    )
-                )
+                partials.append(dispatch(node, fragment))
                 self.fragments_dispatched += 1
             except ReplicaUnavailableError:
                 # The owner died after partitioning: re-partition only this
@@ -217,9 +256,188 @@ class QueryRouter:
                     for replacement in replacements
                 )
                 pending = [fragment for fragment in pending if fragment.ranges]
-        result = merge_partial_results(plan, partials)
-        result.latency_ms = (time.perf_counter() - started) * 1000.0
-        return result
+        return partials
+
+    # -------------------------------------------------------------- #
+    # distributed cross-view joins (broadcast / shuffle)
+    # -------------------------------------------------------------- #
+    def execute_join(
+        self,
+        left_query: str | Query | CallQuery | PhysicalPlan,
+        left_view: str,
+        right_query: str | Query | CallQuery | PhysicalPlan,
+        right_view: str,
+        left_key: str,
+        right_key: str,
+        how: str = "inner",
+        consistency: Consistency = ANY,
+        strategy: str = "auto",
+        broadcast_threshold: int = 64,
+        limit: int | None = None,
+        use_cache: bool = True,
+        vectorized: bool | None = None,
+    ) -> QueryResult:
+        """Join two views' query results replica-side, result-identical to primary.
+
+        Executes *right_query* over *right_view* and *left_query* over
+        *left_view*, then joins the row sets on
+        ``left_key == right_key`` (both must be projected columns; key
+        equality is :func:`~repro.live.executor.canonical_join_key`) exactly
+        as :func:`~repro.live.executor.join_results` would on the primary.
+        The join itself runs **on the replicas**, by one of two shapes:
+
+        * **broadcast** — the right side is gathered first; when it is small
+          (``≤ broadcast_threshold`` rows, or ``strategy="broadcast"``) it is
+          shipped to every fragment of the left side, each replica probing
+          only its own partition of the left view
+          (:meth:`~repro.serving.replica.ReplicaNode.join_fragment`) — the
+          big side never materializes at the router;
+        * **shuffle** — otherwise both gathered sides are re-partitioned by
+          ``stable_hash`` of their canonical join-key value, and each replica
+          joins the one key-range share it owns
+          (:meth:`~repro.serving.replica.ReplicaNode.join_partition`), so
+          per-replica work is ~1/R of the primary-side join.
+
+        Both shapes enforce *consistency* per fragment and re-dispatch dead
+        replicas' shares over the survivors, like the scatter-gather path.
+        Side queries must be plain MATCH pipelines: REACH sides route through
+        the round protocol instead, and a per-side LIMIT is rejected
+        (:class:`~repro.errors.KGQPlanError`) because a per-partition LIMIT
+        under-collects — bound the joined result with *limit*.
+        """
+        started = time.perf_counter()
+        if how not in ("inner", "left"):
+            raise ServingError(f"unsupported join type {how!r}")
+        if strategy not in ("auto", "broadcast", "shuffle"):
+            raise ServingError(
+                f"unknown join strategy {strategy!r}; "
+                "use 'auto', 'broadcast', or 'shuffle'"
+            )
+        left_plan = self._join_side_plan(left_query, "left")
+        right_plan = self._join_side_plan(right_query, "right")
+        self.join_queries += 1
+        dead: set[str] = set()
+        right_result = self._gather_side(
+            right_plan, right_view, consistency, dead, use_cache, vectorized
+        )
+        examined = right_result.candidates_examined
+        if strategy == "broadcast" or (
+            strategy == "auto" and len(right_result.rows) <= broadcast_threshold
+        ):
+            self.broadcast_joins += 1
+            partials = self._gather_fragments(
+                left_plan, left_view, consistency, dead,
+                lambda node, fragment: self._dispatch_broadcast(
+                    node, fragment, right_result.rows,
+                    left_key, right_key, how, use_cache, vectorized,
+                ),
+            )
+            joined = [row for partial in partials for row in partial.rows]
+            examined += sum(partial.candidates_examined for partial in partials)
+        else:
+            self.shuffle_joins += 1
+            left_result = self._gather_side(
+                left_plan, left_view, consistency, dead, use_cache, vectorized
+            )
+            examined += left_result.candidates_examined
+            joined = self._shuffle_join(
+                left_plan, left_view, consistency, dead,
+                left_result.rows, right_result.rows, left_key, right_key, how,
+            )
+        return QueryResult(
+            rows=finalize_joined_rows(joined, limit),
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+            from_cache=False,
+            candidates_examined=examined,
+        )
+
+    def _join_side_plan(
+        self, query: str | Query | CallQuery | PhysicalPlan, side: str
+    ) -> PhysicalPlan:
+        """Compile and validate one join side's plan."""
+        plan = self.compile(query)
+        if plan.reach is not None:
+            raise KGQPlanError(
+                f"the {side} side of a distributed join must be a plain MATCH "
+                "pipeline; REACH queries route through the round protocol"
+            )
+        if plan.limit is not None:
+            raise KGQPlanError(
+                f"the {side} side of a distributed join must not carry LIMIT — "
+                "a per-partition LIMIT under-collects; bound the joined result "
+                "with execute_join(limit=...)"
+            )
+        return plan
+
+    def _gather_side(
+        self,
+        plan: PhysicalPlan,
+        view_name: str,
+        consistency: Consistency,
+        dead: set[str],
+        use_cache: bool,
+        vectorized: bool | None,
+    ) -> QueryResult:
+        """Scatter-gather one join side into a merged (dedup'd, ordered) result."""
+        partials = self._gather_fragments(
+            plan, view_name, consistency, dead,
+            lambda node, fragment: node.execute_fragment(
+                fragment, use_cache=use_cache, vectorized=vectorized
+            ),
+        )
+        return merge_partial_results(plan, partials)
+
+    def _dispatch_broadcast(
+        self,
+        node,
+        fragment: PlanFragment,
+        broadcast_rows: list[QueryResultRow],
+        left_key: str,
+        right_key: str,
+        how: str,
+        use_cache: bool,
+        vectorized: bool | None,
+    ) -> QueryResult:
+        self.join_rows_broadcast += len(broadcast_rows)
+        return node.join_fragment(
+            fragment, broadcast_rows, left_key, right_key, how,
+            use_cache=use_cache, vectorized=vectorized,
+        )
+
+    def _shuffle_join(
+        self,
+        plan: PhysicalPlan,
+        view_name: str,
+        consistency: Consistency,
+        dead: set[str],
+        left_rows: list[QueryResultRow],
+        right_rows: list[QueryResultRow],
+        left_key: str,
+        right_key: str,
+        how: str,
+    ) -> list[QueryResultRow]:
+        """Re-partition both sides by canonical key hash and join per owner.
+
+        Entries are ``(canonical_key, side, row)``; the shared scatter
+        protocol hashes the canonical key, so both sides' rows with equal
+        join keys always land on the same owner and no match can be split.
+        """
+        entries: list[tuple[str, str, QueryResultRow]] = []
+        for side, rows, key in (("L", left_rows, left_key), ("R", right_rows, right_key)):
+            for row in rows:
+                entries.append(
+                    (canonical_join_key(projected_join_key(row, key)), side, row)
+                )
+
+        def dispatch(node, owner_entries: list) -> list[QueryResultRow]:
+            lefts = [row for _, side, row in owner_entries if side == "L"]
+            rights = [row for _, side, row in owner_entries if side == "R"]
+            self.join_rows_shuffled += len(owner_entries)
+            return node.join_partition(lefts, rights, left_key, right_key, how)
+
+        return self._scatter_entries(
+            plan, view_name, consistency, dead, entries, dispatch
+        )
 
     # -------------------------------------------------------------- #
     # distributed REACH (round-based frontier scatter until fixpoint)
@@ -394,4 +612,9 @@ class QueryRouter:
             "consistency_rejections": self.consistency_rejections,
             "reach_queries": self.reach_queries,
             "reach_rounds": self.reach_rounds,
+            "join_queries": self.join_queries,
+            "broadcast_joins": self.broadcast_joins,
+            "shuffle_joins": self.shuffle_joins,
+            "join_rows_broadcast": self.join_rows_broadcast,
+            "join_rows_shuffled": self.join_rows_shuffled,
         }

@@ -43,7 +43,12 @@ from typing import Callable
 
 from repro.engine.metadata import WatermarkMap
 from repro.errors import KGQPlanError, ReplicaUnavailableError, ServingError
-from repro.live.executor import QueryExecutor, QueryResult, QueryResultRow
+from repro.live.executor import (
+    QueryExecutor,
+    QueryResult,
+    QueryResultRow,
+    join_result_rows,
+)
 from repro.live.index import LiveIndex, document_checksum, view_row_documents
 from repro.live.kgq import CallQuery, Query, default_virtual_operators, parse
 from repro.live.planner import PhysicalPlan, PlanFragment, QueryPlanner
@@ -98,6 +103,9 @@ class ReplicaNode:
         self.snapshot_resyncs = 0
         self.fragments_executed = 0
         self.local_queries = 0
+        self.joins_executed = 0                  # broadcast probes + shuffle partitions
+        self.join_rows_probed = 0                # probe-side rows this node joined
+        self.join_rows_built = 0                 # build-side rows this node received
         self.divergence_repairs = 0
         # Bounded: a stream of poison batches must not grow memory.
         self.apply_errors: deque[str] = deque(maxlen=256)
@@ -312,6 +320,72 @@ class ReplicaNode:
             return fragment.covers(subject_hash)
 
         return in_partition
+
+    # -------------------------------------------------------------- #
+    # distributed cross-view joins (driven by QueryRouter.execute_join)
+    # -------------------------------------------------------------- #
+    def join_fragment(
+        self,
+        fragment: PlanFragment,
+        broadcast_rows: list[QueryResultRow],
+        left_key: str,
+        right_key: str,
+        how: str = "inner",
+        use_cache: bool = True,
+        vectorized: bool | None = None,
+    ) -> QueryResult:
+        """Broadcast join step: probe this partition's rows against a small side.
+
+        The router ships the (already gathered, deduplicated) small side to
+        every fragment of the big side; this node executes its fragment of
+        the big side's plan locally and joins the partition's rows against
+        the broadcast build table — the big side is never materialized at the
+        router.  Each big-side row lives in exactly one partition, so
+        concatenating the fragments' joined rows reproduces the full join.
+        """
+        result = self.execute_fragment(
+            fragment, use_cache=use_cache, vectorized=vectorized
+        )
+        joined = join_result_rows(
+            result.rows, broadcast_rows, left_key, right_key, how
+        )
+        self.joins_executed += 1
+        self.join_rows_probed += len(result.rows)
+        self.join_rows_built += len(broadcast_rows)
+        return QueryResult(
+            rows=joined,
+            latency_ms=result.latency_ms,
+            from_cache=result.from_cache,
+            candidates_examined=result.candidates_examined,
+        )
+
+    def join_partition(
+        self,
+        left_rows: list[QueryResultRow],
+        right_rows: list[QueryResultRow],
+        left_key: str,
+        right_key: str,
+        how: str = "inner",
+    ) -> list[QueryResultRow]:
+        """Shuffle join step: join one key-partition's share of both sides.
+
+        The router re-partitions both gathered sides by the canonical hash
+        of their join-key values, so this node receives *every* row — left
+        and right — whose key falls in its partitions, and rows joining each
+        other are never split across nodes.  Returns the partition's joined
+        rows; per-replica work is the partition's share (~1/R of the
+        primary-side join), which is the scaling the IVMJOIN benchmark gates.
+        """
+        if not self._alive:
+            raise ReplicaUnavailableError(
+                f"replica {self.name!r} is not running; cannot join partitions"
+            )
+        joined = join_result_rows(left_rows, right_rows, left_key, right_key, how)
+        self.fragments_executed += 1
+        self.joins_executed += 1
+        self.join_rows_probed += len(left_rows)
+        self.join_rows_built += len(right_rows)
+        return joined
 
     # -------------------------------------------------------------- #
     # distributed REACH protocol (driven by QueryRouter)
@@ -542,6 +616,9 @@ class ReplicaNode:
             "snapshot_resyncs": self.snapshot_resyncs,
             "fragments_executed": self.fragments_executed,
             "local_queries": self.local_queries,
+            "joins_executed": self.joins_executed,
+            "join_rows_probed": self.join_rows_probed,
+            "join_rows_built": self.join_rows_built,
             "divergence_repairs": self.divergence_repairs,
             "apply_errors": list(self.apply_errors),
         }
